@@ -1,0 +1,51 @@
+"""Ablation beyond the paper: composed return jump functions.
+
+§3.2 limits return jump functions to constant-only evaluation — one that
+depends on the calling procedure's parameters is set to ⊥. The
+``compose_return_functions`` extension substitutes the caller's symbolic
+expressions instead. This bench measures what that buys on the suite
+(spoiler: a little, at a little cost — consistent with the paper's
+decision not to bother)."""
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.driver import Analyzer
+from repro.workloads import load, suite_names
+
+
+def run_ablation():
+    rows = []
+    for name in suite_names():
+        analyzer = Analyzer(load(name).source)
+        standard = analyzer.run(AnalysisConfig(JumpFunctionKind.POLYNOMIAL))
+        composed = analyzer.run(
+            AnalysisConfig(
+                JumpFunctionKind.POLYNOMIAL, compose_return_functions=True
+            )
+        )
+        rows.append(
+            {
+                "program": name,
+                "standard": standard.constants_found,
+                "composed": composed.constants_found,
+            }
+        )
+    return rows
+
+
+def test_composed_return_functions(benchmark, reporter):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    header = f"{'Program':<12} {'standard':>9} {'composed':>9} {'gain':>6}"
+    body = [header, "-" * len(header)]
+    for row in rows:
+        gain = row["composed"] - row["standard"]
+        body.append(
+            f"{row['program']:<12} {row['standard']:>9} {row['composed']:>9} "
+            f"{gain:>+6}"
+        )
+    reporter(
+        "Ablation: composed vs constant-only return jump functions",
+        "\n".join(body),
+    )
+    for row in rows:
+        # composition is strictly more precise; it must never lose constants
+        assert row["composed"] >= row["standard"]

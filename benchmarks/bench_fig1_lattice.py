@@ -1,0 +1,41 @@
+"""Figure 1: the constant propagation lattice.
+
+Regenerates the meet table from the implementation and benchmarks the
+meet operation itself (it sits on the solver's innermost loop — §3.1.5's
+cost analysis counts jump-function evaluations, each of which ends in a
+meet)."""
+
+from repro.core.lattice import BOTTOM, TOP, meet
+from repro.reporting import figure1_meet_table
+
+_SAMPLES = [TOP, BOTTOM, 0, 1, -7, 42, True, False]
+
+
+def test_figure1_meet_table(benchmark, reporter):
+    def meet_sweep():
+        total = 0
+        for a in _SAMPLES:
+            for b in _SAMPLES:
+                if meet(a, b) is BOTTOM:
+                    total += 1
+        return total
+
+    benchmark(meet_sweep)
+    reporter("Figure 1 (lattice meet rules)", figure1_meet_table())
+
+
+def test_figure1_meet_is_fast_and_bounded(benchmark):
+    """A chain of meets converges after at most two lowerings."""
+
+    def lower_chain():
+        value = TOP
+        drops = 0
+        for sample in (_SAMPLES * 8):
+            lowered = meet(value, sample)
+            if lowered is not value and lowered != value:
+                drops += 1
+                value = lowered
+        return drops
+
+    drops = benchmark(lower_chain)
+    assert drops <= 2

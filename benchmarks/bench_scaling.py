@@ -1,0 +1,50 @@
+"""Ablation: analysis cost vs. program size.
+
+The paper observes that the intraprocedural phases dominate the
+interprocedural solve ("the cost of intraprocedural analysis dominates
+the cost of the interprocedural phase", §4.1). This bench sweeps the
+generator's scale factor on one profile and reports where the time goes.
+"""
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.driver import Analyzer
+from repro.workloads import load
+
+SCALES = (0.25, 0.5, 1.0, 1.5)
+
+
+def run_sweep():
+    rows = []
+    for scale in SCALES:
+        workload = load("spec77", scale=scale)
+        result = Analyzer(workload.source).run(
+            AnalysisConfig(jump_function=JumpFunctionKind.PASS_THROUGH)
+        )
+        intra = result.timings["returns"] + result.timings["forward"]
+        rows.append(
+            {
+                "scale": scale,
+                "lines": workload.line_count,
+                "intraprocedural_seconds": intra,
+                "solve_seconds": result.timings["solve"],
+                "constants": result.constants_found,
+            }
+        )
+    return rows
+
+
+def test_scaling_sweep(benchmark, reporter):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    header = f"{'scale':>6} {'lines':>7} {'intra(s)':>9} {'solve(s)':>9} {'consts':>7}"
+    body = [header, "-" * len(header)]
+    for row in rows:
+        body.append(
+            f"{row['scale']:>6.2f} {row['lines']:>7} "
+            f"{row['intraprocedural_seconds']:>9.3f} "
+            f"{row['solve_seconds']:>9.3f} {row['constants']:>7}"
+        )
+    reporter("Scaling ablation (analysis cost vs program size)", "\n".join(body))
+    for row in rows:
+        # §4.1: intraprocedural analysis dominates the interprocedural solve
+        assert row["intraprocedural_seconds"] > row["solve_seconds"]
+    assert rows[-1]["constants"] >= rows[0]["constants"]

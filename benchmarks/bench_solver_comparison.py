@@ -1,0 +1,68 @@
+"""§2's 'alternative formulations': worklist vs. binding-graph solver.
+
+Both compute the same fixpoint (cross-checked exactly in the test suite);
+this bench measures the trade — per-procedure worklist re-evaluates whole
+call sites, the binding graph re-evaluates individual jump functions along
+dependency edges."""
+
+import pytest
+
+from repro.analysis.ssa import ensure_global_symbols
+from repro.callgraph import build_call_graph, compute_modref
+from repro.core.binding_solver import solve_binding_graph
+from repro.core.builder import build_forward_jump_functions
+from repro.core.config import AnalysisConfig
+from repro.core.returns import build_return_jump_functions
+from repro.core.solver import solve
+from repro.frontend.symbols import parse_program
+from repro.ir import lower_program
+from repro.workloads import load, suite_names
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """Stage 1+2 artifacts for the whole suite, built once."""
+    config = AnalysisConfig()
+    bundle = []
+    for name in suite_names():
+        lowered = lower_program(parse_program(load(name).source))
+        ensure_global_symbols(lowered)
+        graph = build_call_graph(lowered)
+        modref = compute_modref(lowered, graph)
+        returns = build_return_jump_functions(lowered, graph, modref, config)
+        forward = build_forward_jump_functions(lowered, modref, returns, config)
+        bundle.append((lowered, graph, forward))
+    return bundle
+
+
+def test_worklist_solver(benchmark, prepared):
+    def run():
+        return [solve(lowered, graph, forward)
+                for lowered, graph, forward in prepared]
+
+    results = benchmark(run)
+    assert all(r.reached for r in results)
+
+
+def test_binding_graph_solver(benchmark, prepared, reporter):
+    def run():
+        return [solve_binding_graph(lowered, graph, forward)
+                for lowered, graph, forward in prepared]
+
+    results = benchmark(run)
+    assert all(r.reached for r in results)
+
+    worklist_results = [
+        solve(lowered, graph, forward) for lowered, graph, forward in prepared
+    ]
+    lines = [
+        f"{'program':<12} {'worklist evals':>15} {'binding evals':>14}",
+        "-" * 43,
+    ]
+    for (lowered, _, _), wl, bg in zip(prepared, worklist_results, results):
+        lines.append(
+            f"{lowered.program.main:<12} {wl.evaluations:>15} "
+            f"{bg.evaluations:>14}"
+        )
+        assert wl.val == bg.val  # exact agreement, again
+    reporter("Solver comparison (§2 alternative formulations)", "\n".join(lines))

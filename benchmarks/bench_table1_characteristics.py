@@ -1,0 +1,19 @@
+"""Table 1: characteristics of the program test suite.
+
+Benchmarks the front end (lex + parse + resolve) over the whole generated
+suite and prints the regenerated table."""
+
+from repro.frontend.symbols import parse_program
+from repro.reporting import format_table1, run_table1
+from repro.workloads import load_suite
+
+
+def test_table1_characteristics(benchmark, reporter):
+    suite = load_suite()
+
+    def parse_all():
+        return [parse_program(w.source) for w in suite.values()]
+
+    programs = benchmark(parse_all)
+    assert len(programs) == 12
+    reporter("Table 1 (program characteristics)", format_table1(run_table1()))

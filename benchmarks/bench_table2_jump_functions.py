@@ -1,0 +1,21 @@
+"""Table 2: constants found through use of jump functions.
+
+Runs all six Table 2 configurations (four forward jump functions with
+return jump functions, plus polynomial/pass-through without) over the
+full-scale suite, prints the regenerated table, and asserts the paper's
+column orderings."""
+
+from repro.reporting import format_table2, run_table2
+
+
+def test_table2_jump_functions(benchmark, reporter):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    reporter("Table 2 (constants found per jump function)", format_table2(rows))
+    for row in rows:
+        assert row.literal <= row.intraprocedural
+        assert row.intraprocedural <= row.pass_through
+        assert row.pass_through == row.polynomial  # the paper's headline
+        assert row.polynomial_no_rjf <= row.polynomial
+        assert row.pass_through_no_rjf <= row.pass_through
+    ocean = next(row for row in rows if row.program == "ocean")
+    assert ocean.polynomial >= 2 * ocean.polynomial_no_rjf

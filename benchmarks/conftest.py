@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the regenerated table/figure to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them live; without
+``-s`` pytest shows captured output per test at the end with ``-rA``).
+The heavyweight table sweeps run ``pedantic`` with one round — the
+interesting output is the table, the timing is a bonus.
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)
+
+
+@pytest.fixture
+def reporter():
+    return emit

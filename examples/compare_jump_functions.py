@@ -1,0 +1,108 @@
+"""One-program replica of the study: all four jump functions side by side.
+
+Builds a program containing one instance of each constant-flow class the
+jump functions are distinguished by, runs all four, and shows exactly
+which class each implementation captures — §3.1's taxonomy, executable.
+
+Run:  python examples/compare_jump_functions.py
+"""
+
+from repro import AnalysisConfig, Analyzer, JumpFunctionKind
+
+SOURCE = """
+program study
+  integer v
+  common /gd/ gshare
+  integer gshare
+  gshare = 77
+  ! class 1: a literal constant at the call site
+  call use1(42)
+  ! class 2: an intraprocedural constant (computed, then passed)
+  v = 6 * 7
+  call use2(v)
+  ! class 3: pass-through (a formal forwarded unmodified, depth 2)
+  call forward(13)
+  ! class 5: a global passed implicitly
+  call use5
+end
+
+subroutine forward(x)
+  integer x
+  ! x flows through this body untouched: pass-through jump function
+  call use3(x)
+  ! class 4: a polynomial of the incoming formal
+  call use4(2 * x + 1)
+end
+
+subroutine use1(a)
+  integer a
+  write a
+end
+
+subroutine use2(b)
+  integer b
+  write b
+end
+
+subroutine use3(c)
+  integer c
+  write c
+end
+
+subroutine use4(d)
+  integer d
+  write d
+end
+
+subroutine use5
+  common /gd/ g
+  integer g
+  write g
+end
+"""
+
+EXPECTATIONS = [
+    ("use1.a (literal 42)", "use1", "a"),
+    ("use2.b (computed 42)", "use2", "b"),
+    ("use3.c (pass-through 13)", "use3", "c"),
+    ("use4.d (polynomial 2x+1 = 27)", "use4", "d"),
+    ("use5 gd.gshare (implicit global 77)", "use5", "gd.gshare"),
+]
+
+
+def main() -> None:
+    analyzer = Analyzer(SOURCE)
+    kinds = [
+        JumpFunctionKind.LITERAL,
+        JumpFunctionKind.INTRAPROCEDURAL,
+        JumpFunctionKind.PASS_THROUGH,
+        JumpFunctionKind.POLYNOMIAL,
+    ]
+    results = {
+        kind: analyzer.run(AnalysisConfig(jump_function=kind)) for kind in kinds
+    }
+
+    width = max(len(label) for label, _, _ in EXPECTATIONS) + 2
+    header = f"{'constant-flow class':<{width}}" + "".join(
+        f"{kind.value:>17}" for kind in kinds
+    )
+    print(header)
+    print("-" * len(header))
+    for label, proc, key in EXPECTATIONS:
+        cells = []
+        for kind in kinds:
+            value = results[kind].constants(proc).get(key)
+            cells.append(f"{str(value) if value is not None else '—':>17}")
+        print(f"{label:<{width}}" + "".join(cells))
+
+    print()
+    print("Totals (constants substituted):")
+    for kind in kinds:
+        print(f"  {kind.value:<16} {results[kind].constants_found}")
+    print()
+    print("Each implementation captures a strict superset of the previous")
+    print("one (§3.1); pass-through misses only the true polynomial.")
+
+
+if __name__ == "__main__":
+    main()

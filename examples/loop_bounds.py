@@ -1,0 +1,110 @@
+"""The paper's motivating scenario: interprocedural constants as loop bounds.
+
+Eigenmann and Blume observed that interprocedural constants are often loop
+bounds, and that knowing them improves both dependence information and
+parallelization decisions (paper §1). This example counts how many DO
+loops get *compile-time-known trip counts* with and without
+interprocedural constant propagation.
+
+Run:  python examples/loop_bounds.py
+"""
+
+from repro import AnalysisConfig, JumpFunctionKind, analyze
+from repro.core.lattice import is_constant
+from repro.frontend import parse_program
+from repro.frontend.astnodes import DoLoop, walk_stmts
+
+SOURCE = """
+program sim
+  integer nx, ny, steps
+  nx = 64
+  ny = 32
+  steps = 100
+  call relax(nx, ny)
+  call advance(nx, ny, steps)
+end
+
+subroutine relax(rows, cols)
+  integer rows, cols, i, j
+  real grid(64, 32)
+  do i = 1, rows
+    do j = 1, cols
+      grid(i, j) = i * 0.5 + j
+    enddo
+  enddo
+end
+
+subroutine advance(rows, cols, nsteps)
+  integer rows, cols, nsteps, t
+  do t = 1, nsteps
+    call relax(rows, cols)
+  enddo
+end
+"""
+
+
+def constant_bound_loops(result, use_entry_constants: bool) -> int:
+    """Count DO loops whose bounds are compile-time constants."""
+    program = result.program
+    found = 0
+    for name, procedure in program.procedures.items():
+        env = {}
+        if use_entry_constants:
+            env = result.solved.constants(name)
+        for stmt in walk_stmts(procedure.ast.body):
+            if not isinstance(stmt, DoLoop):
+                continue
+            numbering = result.forward.numberings[name]
+            ssa = result.forward.ssas[name]
+            # A bound is "known" if every variable it reads is an entry
+            # constant or it folds outright.
+            bound_known = True
+            for expr in (stmt.first, stmt.last):
+                known = _expr_known(expr, env, program, name)
+                if not known:
+                    bound_known = False
+            if bound_known:
+                found += 1
+    return found
+
+
+def _expr_known(expr, env, program, proc_name) -> bool:
+    from repro.frontend.astnodes import BinaryOp, IntLit, UnaryOp, VarRef
+
+    if isinstance(expr, IntLit):
+        return True
+    if isinstance(expr, VarRef):
+        symbol = program.procedures[proc_name].symtab.lookup(expr.name)
+        if symbol is None:
+            return False
+        if symbol.const_value is not None:
+            return True
+        return expr.name in env and is_constant(env[expr.name])
+    if isinstance(expr, BinaryOp):
+        return _expr_known(expr.left, env, program, proc_name) and _expr_known(
+            expr.right, env, program, proc_name
+        )
+    if isinstance(expr, UnaryOp):
+        return _expr_known(expr.operand, env, program, proc_name)
+    return False
+
+
+def main() -> None:
+    result = analyze(
+        SOURCE, AnalysisConfig(jump_function=JumpFunctionKind.PASS_THROUGH)
+    )
+    without = constant_bound_loops(result, use_entry_constants=False)
+    with_icp = constant_bound_loops(result, use_entry_constants=True)
+
+    print("DO loops with compile-time-known bounds:")
+    print(f"  without interprocedural constants: {without}")
+    print(f"  with interprocedural constants:    {with_icp}")
+    print()
+    print("Known trip counts let a parallelizer decide profitability and")
+    print("let the dependence analyzer treat subscripts as linear (§1).")
+    for proc in ("relax", "advance"):
+        print(f"  CONSTANTS({proc}) = {result.constants(proc)}")
+
+
+if __name__ == "__main__":
+    main()

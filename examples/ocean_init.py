@@ -1,0 +1,74 @@
+"""The ocean story: why return jump functions tripled one program's count.
+
+The paper found return jump functions made "no noticeable difference" in
+ten of thirteen programs — but more than *tripled* the constants found in
+ocean, whose initialization routine assigns constant values to many COMMON
+variables (§4.2). This example reproduces the effect on the generated
+ocean workload and on a minimal distilled program.
+
+Run:  python examples/ocean_init.py
+"""
+
+from repro import AnalysisConfig, Analyzer, JumpFunctionKind
+from repro.workloads import load
+
+DISTILLED = """
+program tiny
+  common /cfg/ nx, ny, niter
+  integer nx, ny, niter
+  call init
+  call solve
+end
+
+subroutine init
+  common /cfg/ a, b, c
+  integer a, b, c
+  a = 64
+  b = 32
+  c = 500
+end
+
+subroutine solve
+  common /cfg/ rows, cols, steps
+  integer rows, cols, steps, i, work
+  work = 0
+  do i = 1, steps
+    work = work + rows * cols
+  enddo
+  write work
+end
+"""
+
+
+def compare(source: str, label: str) -> None:
+    analyzer = Analyzer(source)
+    with_rjf = analyzer.run(AnalysisConfig(JumpFunctionKind.POLYNOMIAL))
+    without = analyzer.run(
+        AnalysisConfig(JumpFunctionKind.POLYNOMIAL, use_return_jump_functions=False)
+    )
+    ratio = (
+        with_rjf.constants_found / without.constants_found
+        if without.constants_found
+        else float("inf")
+    )
+    print(f"{label}:")
+    print(f"  with return jump functions:    {with_rjf.constants_found}")
+    print(f"  without return jump functions: {without.constants_found}")
+    print(f"  ratio: {ratio:.2f}x")
+    return with_rjf
+
+
+def main() -> None:
+    result = compare(DISTILLED, "distilled init-routine program")
+    print(f"  CONSTANTS(solve) = {result.constants('solve')}")
+    print()
+    print("Mechanism: init's return jump functions are R(a)=64, R(b)=32,")
+    print("R(c)=500 — constants with empty support. When value numbering")
+    print("reaches 'call init' in the main program, those functions supply")
+    print("the globals' values, and every later call site transmits them.")
+    print()
+    compare(load("ocean").source, "generated 'ocean' workload (full scale)")
+
+
+if __name__ == "__main__":
+    main()

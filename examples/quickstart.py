@@ -1,0 +1,63 @@
+"""Quickstart: analyze a small program and inspect what the analyzer found.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnalysisConfig, JumpFunctionKind, analyze
+
+SOURCE = """
+program demo
+  integer n, m
+  common /cfg/ gmax
+  integer gmax
+  call setup
+  n = 10
+  m = n * 2 + 1
+  call smooth(n, m)
+  call smooth(n, m)
+end
+
+subroutine setup
+  common /cfg/ g
+  integer g
+  g = 100
+end
+
+subroutine smooth(k, j)
+  integer k, j, i, acc
+  common /cfg/ lim
+  integer lim
+  acc = 0
+  do i = 1, k
+    acc = acc + j
+  enddo
+  if (acc > lim) then
+    acc = lim
+  endif
+  write acc
+end
+"""
+
+
+def main() -> None:
+    result = analyze(
+        SOURCE, AnalysisConfig(jump_function=JumpFunctionKind.PASS_THROUGH)
+    )
+
+    print("== CONSTANTS sets (what holds on every entry) ==")
+    for proc, constants in result.all_constants().items():
+        if constants:
+            pretty = ", ".join(f"{k} = {v}" for k, v in constants.items())
+            print(f"  {proc}: {pretty}")
+
+    print()
+    print(f"constants substituted (pairs):      {result.constants_found}")
+    print(f"references replaced by literals:    {result.references_substituted}")
+
+    print()
+    print("== transformed source (constants spliced in) ==")
+    print(result.transformed_source())
+
+
+if __name__ == "__main__":
+    main()

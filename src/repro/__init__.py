@@ -1,0 +1,47 @@
+"""repro — a full reproduction of Grove & Torczon,
+"Interprocedural Constant Propagation: A Study of Jump Function
+Implementations" (PLDI 1993).
+
+Quick start::
+
+    from repro import analyze, AnalysisConfig, JumpFunctionKind
+
+    result = analyze(source_text,
+                     AnalysisConfig(jump_function=JumpFunctionKind.PASS_THROUGH))
+    print(result.constants_found)          # the Table 2 cell
+    print(result.constants("solver"))      # CONSTANTS(solver)
+    print(result.transformed_source())     # constants spliced into the text
+
+Package map:
+
+- :mod:`repro.frontend` — MiniFortran lexer/parser/resolver
+- :mod:`repro.ir` — three-address IR and CFGs
+- :mod:`repro.analysis` — dominance, SSA, value numbering, SCCP, DCE
+- :mod:`repro.callgraph` — call graph and MOD/REF summaries
+- :mod:`repro.core` — jump functions, the interprocedural solver,
+  substitution, complete propagation (the paper's contribution)
+- :mod:`repro.interp` — reference interpreter (differential soundness)
+- :mod:`repro.workloads` — the synthetic SPEC/PERFECT-style suite
+- :mod:`repro.reporting` — Table 1/2/3 regeneration
+"""
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.driver import AnalysisResult, Analyzer, analyze
+from repro.core.lattice import BOTTOM, TOP, is_constant, meet
+from repro.frontend.symbols import parse_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Analyzer",
+    "BOTTOM",
+    "JumpFunctionKind",
+    "TOP",
+    "analyze",
+    "is_constant",
+    "meet",
+    "parse_program",
+    "__version__",
+]

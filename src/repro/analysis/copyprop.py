@@ -1,0 +1,82 @@
+"""Local copy propagation on the pre-SSA CFG.
+
+Replaces uses of temporaries that merely forward another operand —
+``t = x`` followed by uses of ``t`` — with the forwarded operand, within
+a basic block. Lowering makes temporaries block-local and
+single-assignment, so a block-local forward pass is complete for them.
+
+Soundness bookkeeping: an entry ``t ↦ x`` (``x`` a named variable) dies
+when ``x`` is redefined — by an assignment, a READ, or a call that may
+modify it (any call, conservatively). Constants never die.
+
+The pass feeds dead-store elimination during complete propagation: once
+``y = t`` becomes ``y = x``, the copy ``t = x`` is dead and DCE removes
+it. Source spans ride along on the propagated operands, so substitution
+counting is unaffected (spans are de-duplicated there).
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Call,
+    Const,
+    Copy,
+    Operand,
+    ReadVar,
+    Temp,
+    VarDef,
+    VarUse,
+)
+from repro.ir.lower import LoweredProcedure
+
+
+def propagate_copies(lowered_proc: LoweredProcedure) -> int:
+    """Run local copy propagation; returns the number of uses rewritten."""
+    rewritten = 0
+    for block in lowered_proc.cfg.blocks.values():
+        env: dict[Temp, Operand] = {}
+
+        def lookup(operand: Operand) -> Operand:
+            nonlocal rewritten
+            seen: set[Temp] = set()
+            while isinstance(operand, Temp) and operand in env:
+                if operand in seen:  # pragma: no cover - defensive
+                    break
+                seen.add(operand)
+                operand = env[operand]
+                rewritten += 1
+            return operand
+
+        for instr in block.instrs:
+            instr.replace_uses(lookup)
+            if isinstance(instr, Copy) and isinstance(instr.dest, Temp):
+                source = instr.src
+                if isinstance(source, (Const, VarUse)):
+                    env[instr.dest] = source
+            killed = _killed_symbols(instr)
+            if killed is _ALL:
+                env = {
+                    t: op for t, op in env.items() if isinstance(op, Const)
+                }
+            elif killed:
+                env = {
+                    t: op
+                    for t, op in env.items()
+                    if not (isinstance(op, VarUse) and op.symbol in killed)
+                }
+    return rewritten
+
+
+_ALL = object()
+
+
+def _killed_symbols(instr):
+    """Symbols whose cached copies die at this instruction."""
+    if isinstance(instr, Call):
+        return _ALL  # conservative: the callee may write anything visible
+    if isinstance(instr, ReadVar):
+        return {instr.target.symbol}
+    dest = instr.dest
+    if isinstance(dest, VarDef):
+        return {dest.symbol}
+    return None

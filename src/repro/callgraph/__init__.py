@@ -1,0 +1,12 @@
+"""Call graph construction and interprocedural MOD/REF summaries."""
+
+from repro.callgraph.graph import CallGraph, build_call_graph
+from repro.callgraph.modref import ModRefInfo, compute_modref, make_call_effects
+
+__all__ = [
+    "CallGraph",
+    "ModRefInfo",
+    "build_call_graph",
+    "compute_modref",
+    "make_call_effects",
+]

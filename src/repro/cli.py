@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+analyze   run the analyzer over a MiniFortran file, print CONSTANTS sets
+run       execute a file under the reference interpreter
+tables    regenerate the paper's tables and Figure 1
+workload  print (or save) one generated suite program
+clone     one goal-directed cloning round over a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.driver import analyze
+from repro.frontend.errors import FrontendError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Interprocedural constant propagation — a reproduction of "
+            "Grove & Torczon, PLDI 1993"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze_cmd = sub.add_parser("analyze", help="analyze a MiniFortran file")
+    analyze_cmd.add_argument("file")
+    analyze_cmd.add_argument(
+        "--jump-function",
+        choices=[k.value for k in JumpFunctionKind],
+        default=JumpFunctionKind.PASS_THROUGH.value,
+    )
+    analyze_cmd.add_argument("--no-mod", action="store_true",
+                             help="drop interprocedural MOD information")
+    analyze_cmd.add_argument("--no-returns", action="store_true",
+                             help="disable return jump functions")
+    analyze_cmd.add_argument("--complete", action="store_true",
+                             help="iterate with dead-code elimination")
+    analyze_cmd.add_argument("--intraprocedural", action="store_true",
+                             help="the Table 3 baseline: no propagation "
+                                  "between procedures")
+    analyze_cmd.add_argument("--compose", action="store_true",
+                             help="compose return jump functions "
+                                  "symbolically (extension)")
+    analyze_cmd.add_argument("--transform", action="store_true",
+                             help="print the transformed source")
+
+    run_cmd = sub.add_parser("run", help="execute a file")
+    run_cmd.add_argument("file")
+    run_cmd.add_argument("--input", type=int, action="append", default=[],
+                         help="value for the next READ (repeatable)")
+    run_cmd.add_argument("--max-steps", type=int, default=2_000_000)
+
+    tables_cmd = sub.add_parser("tables", help="regenerate the paper tables")
+    tables_cmd.add_argument(
+        "--which", choices=["1", "2", "3", "fig1", "costs", "all"],
+        default="all",
+    )
+    tables_cmd.add_argument("--scale", type=float, default=1.0)
+
+    workload_cmd = sub.add_parser("workload", help="emit a suite program")
+    workload_cmd.add_argument("name")
+    workload_cmd.add_argument("--scale", type=float, default=1.0)
+    workload_cmd.add_argument("-o", "--output", default=None)
+
+    clone_cmd = sub.add_parser("clone", help="one procedure-cloning round")
+    clone_cmd.add_argument("file")
+    clone_cmd.add_argument("--max-clones", type=int, default=3)
+    clone_cmd.add_argument("--transform", action="store_true",
+                           help="print the cloned source")
+    return parser
+
+
+def _config_from(args: argparse.Namespace) -> AnalysisConfig:
+    return AnalysisConfig(
+        jump_function=JumpFunctionKind(args.jump_function),
+        use_return_jump_functions=not args.no_returns,
+        use_mod=not args.no_mod,
+        complete=args.complete,
+        intraprocedural_only=args.intraprocedural,
+        compose_return_functions=args.compose,
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    result = analyze(source, _config_from(args))
+    print(f"configuration: {result.config.describe()}")
+    print(f"constants substituted (pairs): {result.constants_found}")
+    print(f"references replaced:           {result.references_substituted}")
+    print()
+    for proc, constants in sorted(result.all_constants().items()):
+        if constants:
+            pretty = ", ".join(f"{k} = {v}" for k, v in sorted(constants.items()))
+            print(f"CONSTANTS({proc}) = {{{pretty}}}")
+    if args.transform:
+        print()
+        print(result.transformed_source())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.interp import InterpError, run_program
+
+    with open(args.file) as handle:
+        source = handle.read()
+    try:
+        trace = run_program(source, inputs=args.input, max_steps=args.max_steps)
+    except InterpError as error:
+        print(f"runtime error: {error}", file=sys.stderr)
+        return 1
+    for value in trace.outputs:
+        print(value)
+    print(f"({trace.steps} steps)", file=sys.stderr)
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro import reporting
+
+    which = args.which
+    if which in ("fig1", "all"):
+        print(reporting.figure1_meet_table())
+        print()
+    if which in ("1", "all"):
+        print(reporting.format_table1(reporting.run_table1(args.scale)))
+        print()
+    if which in ("2", "all"):
+        print(reporting.format_table2(reporting.run_table2(args.scale)))
+        print()
+    if which in ("3", "all"):
+        print(reporting.format_table3(reporting.run_table3(args.scale)))
+        print()
+    if which in ("costs", "all"):
+        print(reporting.format_cost_report(reporting.run_cost_report(args.scale)))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import load, suite_names
+
+    if args.name not in suite_names():
+        print(f"unknown workload {args.name!r}; choose from "
+              f"{', '.join(suite_names())}", file=sys.stderr)
+        return 1
+    workload = load(args.name, scale=args.scale)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(workload.source)
+        print(f"wrote {workload.line_count} lines to {args.output}")
+        if workload.inputs:
+            print(f"inputs needed for READ statements: {workload.inputs}")
+    else:
+        print(workload.source)
+    return 0
+
+
+def _cmd_clone(args: argparse.Namespace) -> int:
+    from repro.core.cloning import clone_and_reanalyze
+
+    with open(args.file) as handle:
+        source = handle.read()
+    report = clone_and_reanalyze(source, max_clones_per_procedure=args.max_clones)
+    print(f"constants before: {report.constants_before}")
+    print(f"constants after:  {report.constants_after}")
+    print(f"clones created:   {report.clones_created}")
+    print(f"code growth:      {report.code_growth:.2f}x")
+    for group in report.groups:
+        if group.clone_name:
+            vector = ", ".join(f"{k}={v}" for k, v in group.vector)
+            print(f"  {group.callee} -> {group.clone_name} "
+                  f"[{vector}] at {len(group.site_ids)} site(s)")
+    if args.transform and report.transformed_source:
+        print()
+        print(report.transformed_source)
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "run": _cmd_run,
+    "tables": _cmd_tables,
+    "workload": _cmd_workload,
+    "clone": _cmd_clone,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FrontendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: jump functions and the
+interprocedural constant propagation framework.
+
+Public surface:
+
+- :class:`~repro.core.lattice.Lattice` constants ``TOP`` / ``BOTTOM`` and
+  :func:`~repro.core.lattice.meet` — the three-level lattice of Figure 1.
+- :class:`~repro.core.config.JumpFunctionKind` and
+  :class:`~repro.core.config.AnalysisConfig` — which jump function to use
+  and which framework features (MOD, return jump functions, complete
+  propagation) to enable.
+- :func:`~repro.core.driver.analyze` / :class:`~repro.core.driver.Analyzer`
+  — the four-stage analyzer of §4.1.
+- :class:`~repro.core.driver.AnalysisResult` — CONSTANTS sets, substitution
+  counts, and the transformed source.
+"""
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.lattice import BOTTOM, TOP, LatticeValue, is_constant, meet, meet_all
+
+
+def __getattr__(name: str):
+    # Deferred: repro.core.driver imports the analysis layer, which imports
+    # repro.core.exprs; loading it lazily keeps the package import acyclic.
+    if name in ("AnalysisResult", "Analyzer", "analyze"):
+        from repro.core import driver
+
+        return getattr(driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Analyzer",
+    "BOTTOM",
+    "JumpFunctionKind",
+    "LatticeValue",
+    "TOP",
+    "analyze",
+    "is_constant",
+    "meet",
+    "meet_all",
+]

@@ -1,0 +1,68 @@
+"""Complete propagation (Table 3, column 3): iterate interprocedural
+constant propagation with dead-code elimination.
+
+Each round: analyze → fold branches on interprocedural constants → remove
+unreachable code → delete dead stores → if anything changed, reset all
+CONSTANTS to ⊤ and re-analyze the transformed program from scratch
+("In each case, only one pass of dead code elimination was needed", §4.2
+— the loop typically runs two analysis rounds, the second confirming a
+fixpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dce import DCEStats, eliminate_dead_code
+from repro.ir.lower import LoweredProgram, refresh_call_sites
+
+
+@dataclass
+class CompleteStats:
+    """Aggregate DCE activity across complete-propagation rounds."""
+
+    rounds: int = 0
+    dce_rounds_with_changes: int = 0
+    folded_branches: int = 0
+    removed_blocks: int = 0
+    removed_stores: int = 0
+    per_round: list[dict[str, DCEStats]] = field(default_factory=list)
+
+
+def run_complete_propagation(
+    lowered: LoweredProgram,
+    config,
+    run_pipeline,
+) -> tuple[object, CompleteStats]:
+    """Drive the analyze/DCE loop. ``run_pipeline(lowered)`` must run
+    stages 1–3 and return an artifacts object with ``solved`` and
+    ``forward`` attributes. Returns the artifacts of the final (stable)
+    round. Mutates ``lowered`` in place."""
+    stats = CompleteStats()
+    while True:
+        artifacts = run_pipeline(lowered)
+        stats.rounds += 1
+        if stats.rounds > config.max_complete_rounds:
+            return artifacts, stats
+        round_stats: dict[str, DCEStats] = {}
+        any_change = False
+        for name in sorted(artifacts.solved.reached):
+            numbering = artifacts.forward.numberings.get(name)
+            if numbering is None:
+                continue
+            proc_stats = eliminate_dead_code(
+                lowered.procedures[name],
+                numbering.expr_of,
+                artifacts.solved.val[name],
+            )
+            round_stats[name] = proc_stats
+            if proc_stats.any_change:
+                any_change = True
+            stats.folded_branches += proc_stats.folded_branches
+            stats.removed_blocks += proc_stats.removed_blocks
+            stats.removed_stores += proc_stats.removed_stores
+        stats.per_round.append(round_stats)
+        if not any_change:
+            return artifacts, stats
+        stats.dce_rounds_with_changes += 1
+        refresh_call_sites(lowered)

@@ -1,0 +1,95 @@
+"""Analysis configuration: which jump function, which framework features.
+
+The study's experimental matrix is spanned by four axes:
+
+- :class:`JumpFunctionKind` — the forward jump function (§3.1);
+- ``use_return_jump_functions`` — §3.2 (Table 2, last two columns drop it);
+- ``use_mod`` — interprocedural MOD information (Table 3, column 1 drops it);
+- ``complete`` — iterate propagation with dead-code elimination
+  (Table 3, column 3).
+
+``intraprocedural_only`` selects the Table 3 column 4 baseline: no
+propagation between procedures at all, MOD still honoured at call sites.
+
+``compose_return_functions`` is an *extension* beyond the paper: return
+jump functions are composed symbolically with the caller's expressions
+instead of being evaluated with constant-only arguments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class JumpFunctionKind(enum.Enum):
+    """The four forward jump function implementations of §3.1."""
+
+    LITERAL = "literal"
+    INTRAPROCEDURAL = "intraprocedural"
+    PASS_THROUGH = "pass_through"
+    POLYNOMIAL = "polynomial"
+
+    @property
+    def propagates_through_bodies(self) -> bool:
+        """Can this jump function carry constants along paths of length > 1
+        in the call graph? (§3.1: only pass-through and polynomial can.)"""
+        return self in (JumpFunctionKind.PASS_THROUGH, JumpFunctionKind.POLYNOMIAL)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """One cell of the experimental matrix."""
+
+    jump_function: JumpFunctionKind = JumpFunctionKind.PASS_THROUGH
+    use_return_jump_functions: bool = True
+    use_mod: bool = True
+    complete: bool = False
+    intraprocedural_only: bool = False
+    compose_return_functions: bool = False
+    max_complete_rounds: int = 5
+
+    def describe(self) -> str:
+        parts = [self.jump_function.value]
+        parts.append("rjf" if self.use_return_jump_functions else "no-rjf")
+        parts.append("mod" if self.use_mod else "no-mod")
+        if self.complete:
+            parts.append("complete")
+        if self.intraprocedural_only:
+            parts.append("intraprocedural-only")
+        if self.compose_return_functions:
+            parts.append("composed")
+        return "+".join(parts)
+
+
+#: The configurations of Table 2, in column order.
+TABLE2_CONFIGS: dict[str, AnalysisConfig] = {
+    "polynomial": AnalysisConfig(jump_function=JumpFunctionKind.POLYNOMIAL),
+    "pass_through": AnalysisConfig(jump_function=JumpFunctionKind.PASS_THROUGH),
+    "intraprocedural": AnalysisConfig(
+        jump_function=JumpFunctionKind.INTRAPROCEDURAL
+    ),
+    "literal": AnalysisConfig(jump_function=JumpFunctionKind.LITERAL),
+    "polynomial_no_rjf": AnalysisConfig(
+        jump_function=JumpFunctionKind.POLYNOMIAL,
+        use_return_jump_functions=False,
+    ),
+    "pass_through_no_rjf": AnalysisConfig(
+        jump_function=JumpFunctionKind.PASS_THROUGH,
+        use_return_jump_functions=False,
+    ),
+}
+
+#: The configurations of Table 3, in column order.
+TABLE3_CONFIGS: dict[str, AnalysisConfig] = {
+    "polynomial_no_mod": AnalysisConfig(
+        jump_function=JumpFunctionKind.POLYNOMIAL, use_mod=False
+    ),
+    "polynomial_with_mod": AnalysisConfig(
+        jump_function=JumpFunctionKind.POLYNOMIAL
+    ),
+    "complete": AnalysisConfig(
+        jump_function=JumpFunctionKind.POLYNOMIAL, complete=True
+    ),
+    "intraprocedural_only": AnalysisConfig(intraprocedural_only=True),
+}

@@ -1,0 +1,200 @@
+"""The four-stage analyzer of §4.1, assembled.
+
+::
+
+    stage 0   parse, resolve, lower, call graph, MOD/REF
+    stage 1   return jump functions       (bottom-up over the call graph)
+    stage 2   forward jump functions      (per procedure, uses stage 1)
+    stage 3   interprocedural propagation (worklist over the call graph)
+    stage 4   record: CONSTANTS sets, substitution counts, transformed text
+
+:func:`analyze` runs one configuration over one program;
+:class:`Analyzer` parses once and runs many configurations (how the
+benchmark harness sweeps Table 2/3 columns). Per-stage wall-clock timings
+are captured for the §3.1.5 cost benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.ssa import ensure_global_symbols
+from repro.callgraph.graph import CallGraph, build_call_graph
+from repro.callgraph.modref import ModRefInfo, compute_modref
+from repro.core.builder import ForwardFunctions, build_forward_jump_functions
+from repro.core.complete import CompleteStats, run_complete_propagation
+from repro.core.config import AnalysisConfig
+from repro.core.lattice import BOTTOM, LatticeValue
+from repro.core.returns import ReturnFunctionResult, build_return_jump_functions
+from repro.core.solver import SolveResult, solve
+from repro.core.substitute import (
+    SubstitutionReport,
+    compute_substitutions,
+    transform_source,
+)
+from repro.frontend.astnodes import Type
+from repro.frontend.symbols import Program, parse_program
+from repro.ir.lower import LoweredProgram, lower_program
+
+
+@dataclass
+class _Artifacts:
+    graph: CallGraph
+    modref: ModRefInfo
+    returns: ReturnFunctionResult
+    forward: ForwardFunctions
+    solved: SolveResult
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    program: Program
+    config: AnalysisConfig
+    lowered: LoweredProgram
+    call_graph: CallGraph
+    modref: ModRefInfo
+    returns: ReturnFunctionResult
+    forward: ForwardFunctions
+    solved: SolveResult
+    substitutions: SubstitutionReport
+    complete_stats: CompleteStats | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    # -- the paper's numbers -------------------------------------------------
+
+    @property
+    def constants_found(self) -> int:
+        """The Table 2/3 cell: (procedure, variable) pairs substituted."""
+        return self.substitutions.pairs
+
+    @property
+    def references_substituted(self) -> int:
+        return self.substitutions.references
+
+    def constants(self, proc_name: str) -> dict[str, LatticeValue]:
+        """CONSTANTS(p) with human-readable names."""
+        pretty: dict[str, LatticeValue] = {}
+        for key, value in self.solved.constants(proc_name.lower()).items():
+            if isinstance(key, str):
+                pretty[key] = value
+            else:
+                pretty[self.program.global_display(key)] = value
+        return pretty
+
+    def all_constants(self) -> dict[str, dict[str, LatticeValue]]:
+        return {name: self.constants(name) for name in sorted(self.lowered.procedures)}
+
+    def transformed_source(self) -> str:
+        """The program text with substituted constants spliced in."""
+        return transform_source(self.program.source, self.substitutions)
+
+
+def _run_stages(
+    lowered: LoweredProgram, config: AnalysisConfig, timings: dict[str, float]
+) -> _Artifacts:
+    start = time.perf_counter()
+    graph = build_call_graph(lowered)
+    modref = compute_modref(lowered, graph)
+    timings["modref"] = timings.get("modref", 0.0) + time.perf_counter() - start
+
+    effective = config
+    if config.intraprocedural_only and config.use_return_jump_functions:
+        # The baseline is *purely* intraprocedural: no information crosses
+        # procedure boundaries in either direction.
+        effective = AnalysisConfig(
+            jump_function=config.jump_function,
+            use_return_jump_functions=False,
+            use_mod=config.use_mod,
+            intraprocedural_only=True,
+        )
+
+    start = time.perf_counter()
+    returns = build_return_jump_functions(lowered, graph, modref, effective)
+    timings["returns"] = timings.get("returns", 0.0) + time.perf_counter() - start
+
+    start = time.perf_counter()
+    forward = build_forward_jump_functions(lowered, modref, returns, effective)
+    timings["forward"] = timings.get("forward", 0.0) + time.perf_counter() - start
+
+    start = time.perf_counter()
+    if effective.intraprocedural_only:
+        solved = _intraprocedural_solved(lowered)
+    else:
+        solved = solve(lowered, graph, forward)
+    timings["solve"] = timings.get("solve", 0.0) + time.perf_counter() - start
+
+    return _Artifacts(graph, modref, returns, forward, solved)
+
+
+def _intraprocedural_solved(lowered: LoweredProgram) -> SolveResult:
+    """A degenerate VAL: nothing is known on entry anywhere, and every
+    procedure is counted (the baseline measures each procedure alone)."""
+    from repro.core.solver import initial_val
+
+    result = SolveResult(val=initial_val(lowered))
+    for name, env in result.val.items():
+        for key in env:
+            env[key] = BOTTOM
+        result.reached.add(name)
+    return result
+
+
+def analyze(
+    source: str | Program, config: AnalysisConfig | None = None
+) -> AnalysisResult:
+    """Run the full analyzer over MiniFortran source (or a parsed Program)."""
+    config = config or AnalysisConfig()
+    program = parse_program(source) if isinstance(source, str) else source
+    timings: dict[str, float] = {}
+
+    start = time.perf_counter()
+    lowered = lower_program(program)
+    ensure_global_symbols(lowered)
+    timings["lower"] = time.perf_counter() - start
+
+    complete_stats: CompleteStats | None = None
+    if config.complete:
+        artifacts, complete_stats = run_complete_propagation(
+            lowered,
+            config,
+            lambda lowered_now: _run_stages(lowered_now, config, timings),
+        )
+    else:
+        artifacts = _run_stages(lowered, config, timings)
+
+    start = time.perf_counter()
+    substitutions = compute_substitutions(artifacts.forward, artifacts.solved)
+    timings["record"] = time.perf_counter() - start
+
+    return AnalysisResult(
+        program=program,
+        config=config,
+        lowered=lowered,
+        call_graph=artifacts.graph,
+        modref=artifacts.modref,
+        returns=artifacts.returns,
+        forward=artifacts.forward,
+        solved=artifacts.solved,
+        substitutions=substitutions,
+        complete_stats=complete_stats,
+        timings=timings,
+    )
+
+
+class Analyzer:
+    """Parse once, analyze under many configurations."""
+
+    def __init__(self, source: str | Program):
+        self.program = parse_program(source) if isinstance(source, str) else source
+
+    def run(self, config: AnalysisConfig | None = None) -> AnalysisResult:
+        return analyze(self.program, config)
+
+    def sweep(
+        self, configs: dict[str, AnalysisConfig]
+    ) -> dict[str, AnalysisResult]:
+        """Run a named family of configurations (e.g. a table's columns)."""
+        return {name: self.run(config) for name, config in configs.items()}

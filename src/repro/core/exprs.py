@@ -1,0 +1,313 @@
+"""Symbolic value expressions over procedure-entry values.
+
+A :class:`ValueExpr` describes the value of something inside a procedure
+as a function of the values its formals and globals had *on entry* — which
+is precisely what a jump function is (paper §2). The same representation
+serves:
+
+- the polynomial parameter jump function (the expression itself),
+- the pass-through parameter jump function (an expression that *is* an
+  :class:`EntryExpr`),
+- the intraprocedural constant jump function (an expression that folds to
+  a constant with every entry value unknown), and
+- the polynomial return jump function.
+
+``EntryKey`` identifies an entry value: a formal parameter by name (``str``)
+or a COMMON global by :class:`~repro.frontend.symbols.GlobalId`. The paper
+extends "parameter" to cover globals (footnote 1); so do we.
+
+Expressions are immutable and hashable. Construction simplifies eagerly:
+constant operands fold (using the FORTRAN semantics in
+:mod:`repro.semantics`), algebraic identities are applied, and any ⊥
+operand collapses the whole expression to ⊥ (except multiplication by a
+literal zero, which is 0 regardless). The paper observes that in practice
+polynomial jump functions stay small (§3.1.5); the ``MAX_NODES`` guard
+turns pathological growth into ⊥ rather than letting it slow the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro import semantics
+from repro.core.lattice import BOTTOM, TOP, LatticeValue
+from repro.frontend.symbols import GlobalId
+
+EntryKey = Union[str, GlobalId]
+
+MAX_NODES = 200
+
+
+class ValueExpr:
+    """Base class; concrete kinds below. Immutable."""
+
+    def support(self) -> frozenset[EntryKey]:
+        """The exact set of entry values this expression reads (paper §2)."""
+        return frozenset()
+
+    def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
+        """Evaluate over the lattice given entry-value approximations.
+
+        Missing keys count as ⊥. Any ⊥ operand yields ⊥; otherwise any ⊤
+        operand yields ⊤ (optimism — the value may still become constant);
+        otherwise the operator folds.
+        """
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    @property
+    def is_bottom(self) -> bool:
+        return False
+
+    @property
+    def is_constant(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ConstExpr(ValueExpr):
+    """An integer or logical constant."""
+
+    value: int | bool
+
+    def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
+        return self.value
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class EntryExpr(ValueExpr):
+    """The entry value of a formal parameter or global."""
+
+    key: EntryKey
+
+    def support(self) -> frozenset[EntryKey]:
+        return frozenset({self.key})
+
+    def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
+        return env.get(self.key, BOTTOM)
+
+    def __str__(self) -> str:
+        return f"entry({self.key})"
+
+
+@dataclass(frozen=True)
+class OpExpr(ValueExpr):
+    """``op`` applied to sub-expressions. ``arity`` tags the operator
+    family: 'bin', 'un', or 'intrinsic'."""
+
+    op: str
+    args: tuple[ValueExpr, ...]
+    arity: str = "bin"
+
+    def support(self) -> frozenset[EntryKey]:
+        keys: frozenset[EntryKey] = frozenset()
+        for arg in self.args:
+            keys |= arg.support()
+        return keys
+
+    def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
+        values = []
+        saw_top = False
+        for arg in self.args:
+            value = arg.evaluate(env)
+            if value is BOTTOM:
+                return BOTTOM
+            if value is TOP:
+                saw_top = True
+            values.append(value)
+        if saw_top:
+            return TOP
+        return _fold(self.op, self.arity, values)
+
+    @property
+    def size(self) -> int:
+        return 1 + sum(arg.size for arg in self.args)
+
+    def __str__(self) -> str:
+        if self.arity == "bin":
+            return f"({self.args[0]} {self.op} {self.args[1]})"
+        if self.arity == "un":
+            return f"({self.op}{self.args[0]})"
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.op}({inner})"
+
+
+class _BottomExpr(ValueExpr):
+    """The unknown value. Singleton."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
+        return BOTTOM
+
+    @property
+    def is_bottom(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "⊥"
+
+    def __repr__(self) -> str:
+        return "BOTTOM_EXPR"
+
+
+BOTTOM_EXPR = _BottomExpr()
+
+
+def _fold(op: str, arity: str, values: list) -> LatticeValue:
+    try:
+        if arity == "bin":
+            result = semantics.apply_binary(op, values[0], values[1])
+        elif arity == "un":
+            result = semantics.apply_unary(op, values[0])
+        else:
+            result = semantics.apply_intrinsic(op, values)
+    except (semantics.EvalError, OverflowError, ValueError):
+        return BOTTOM
+    if isinstance(result, bool):
+        return result
+    if isinstance(result, int):
+        return result
+    return BOTTOM  # REAL results are never constants (paper §4)
+
+
+# --------------------------------------------------------------------------
+# Smart constructors
+# --------------------------------------------------------------------------
+
+
+def const_expr(value: int | bool) -> ConstExpr:
+    return ConstExpr(value)
+
+
+def entry_expr(key: EntryKey) -> EntryExpr:
+    return EntryExpr(key)
+
+
+def _is_zero(expr: ValueExpr) -> bool:
+    return isinstance(expr, ConstExpr) and expr.value == 0 and not isinstance(
+        expr.value, bool
+    )
+
+
+def _is_one(expr: ValueExpr) -> bool:
+    return isinstance(expr, ConstExpr) and expr.value == 1 and not isinstance(
+        expr.value, bool
+    )
+
+
+def make_binary(op: str, left: ValueExpr, right: ValueExpr) -> ValueExpr:
+    """Construct ``left op right`` with folding and identities."""
+    if op == "*" and (_is_zero(left) or _is_zero(right)):
+        return const_expr(0)  # 0 * ⊥ is still 0
+    if left.is_bottom or right.is_bottom:
+        return BOTTOM_EXPR
+    if isinstance(left, ConstExpr) and isinstance(right, ConstExpr):
+        folded = _fold(op, "bin", [left.value, right.value])
+        if folded is BOTTOM:
+            return BOTTOM_EXPR
+        return const_expr(folded)  # type: ignore[arg-type]
+    # Algebraic identities (sound over the integers).
+    if op == "+":
+        if _is_zero(left):
+            return right
+        if _is_zero(right):
+            return left
+    elif op == "-":
+        if _is_zero(right):
+            return left
+        if left == right:
+            return const_expr(0)
+    elif op == "*":
+        if _is_one(left):
+            return right
+        if _is_one(right):
+            return left
+    elif op == "/":
+        if _is_one(right):
+            return left
+    elif op == "**":
+        if _is_one(right):
+            return left
+    elif op in ("==", "<=", ">="):
+        if left == right:
+            return const_expr(True)
+    elif op in ("/=", "<", ">"):
+        if left == right:
+            return const_expr(False)
+    result = OpExpr(op, (left, right), "bin")
+    if result.size > MAX_NODES:
+        return BOTTOM_EXPR
+    return result
+
+
+def make_unary(op: str, operand: ValueExpr) -> ValueExpr:
+    if operand.is_bottom:
+        return BOTTOM_EXPR
+    if isinstance(operand, ConstExpr):
+        folded = _fold(op, "un", [operand.value])
+        if folded is BOTTOM:
+            return BOTTOM_EXPR
+        return const_expr(folded)  # type: ignore[arg-type]
+    if op == "+":
+        return operand
+    # --x == x
+    if (
+        op == "-"
+        and isinstance(operand, OpExpr)
+        and operand.arity == "un"
+        and operand.op == "-"
+    ):
+        return operand.args[0]
+    return OpExpr(op, (operand,), "un")
+
+
+def make_intrinsic(name: str, args: list[ValueExpr]) -> ValueExpr:
+    if any(arg.is_bottom for arg in args):
+        return BOTTOM_EXPR
+    if all(isinstance(arg, ConstExpr) for arg in args):
+        folded = _fold(name, "intrinsic", [a.value for a in args])  # type: ignore[union-attr]
+        if folded is BOTTOM:
+            return BOTTOM_EXPR
+        return const_expr(folded)  # type: ignore[arg-type]
+    result = OpExpr(name, tuple(args), "intrinsic")
+    if result.size > MAX_NODES:
+        return BOTTOM_EXPR
+    return result
+
+
+def substitute(expr: ValueExpr, bindings: Mapping[EntryKey, ValueExpr]) -> ValueExpr:
+    """Replace entry keys with expressions (used by the
+    ``compose_return_functions`` extension). Missing keys become ⊥."""
+    if isinstance(expr, EntryExpr):
+        return bindings.get(expr.key, BOTTOM_EXPR)
+    if isinstance(expr, OpExpr):
+        new_args = [substitute(arg, bindings) for arg in expr.args]
+        if expr.arity == "bin":
+            return make_binary(expr.op, new_args[0], new_args[1])
+        if expr.arity == "un":
+            return make_unary(expr.op, new_args[0])
+        return make_intrinsic(expr.op, new_args)
+    return expr
+
+
+def constant_only_value(expr: ValueExpr) -> LatticeValue:
+    """Evaluate with every entry value unknown — the paper's ``gcp``:
+    the constant value derivable from purely intraprocedural information."""
+    return expr.evaluate({})

@@ -1,0 +1,112 @@
+"""The constant propagation lattice of Figure 1.
+
+Three levels: ⊤ (TOP, "as yet unknown / never called"), constants, and
+⊥ (BOTTOM, "not known to be constant"). The meet rules::
+
+    T    ∧ any  = any
+    ⊥    ∧ any  = ⊥
+    ci   ∧ cj   = ci   if ci == cj
+    ci   ∧ cj   = ⊥    if ci /= cj
+
+The lattice is infinite (one element per integer) but has bounded depth:
+a value can be lowered at most twice (⊤ → c → ⊥), which is what bounds
+the iterative propagation (paper §2 and §3.1.5).
+
+Only INTEGER and LOGICAL constants participate (paper §4, limitation 1);
+REAL values are mapped to ⊥ at creation time by the evaluators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+
+class _Top:
+    """⊤ — optimistic initial value. Singleton."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+    def __reduce__(self):
+        return (_Top, ())
+
+
+class _Bottom:
+    """⊥ — known to be non-constant. Singleton."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+TOP = _Top()
+BOTTOM = _Bottom()
+
+#: A lattice element: ⊤, ⊥, or a constant (int; bool for LOGICALs).
+LatticeValue = Union[_Top, _Bottom, int, bool]
+
+
+def is_constant(value: LatticeValue) -> bool:
+    """True for the constant band of the lattice (not ⊤, not ⊥)."""
+    return value is not TOP and value is not BOTTOM
+
+
+def meet(a: LatticeValue, b: LatticeValue) -> LatticeValue:
+    """The ∧ operation of Figure 1."""
+    if a is TOP:
+        return b
+    if b is TOP:
+        return a
+    if a is BOTTOM or b is BOTTOM:
+        return BOTTOM
+    if a == b and isinstance(a, bool) == isinstance(b, bool):
+        return a
+    return BOTTOM
+
+
+def meet_all(values: Iterable[LatticeValue]) -> LatticeValue:
+    """Meet of a sequence; the meet of nothing is ⊤."""
+    result: LatticeValue = TOP
+    for value in values:
+        result = meet(result, value)
+        if result is BOTTOM:
+            return BOTTOM
+    return result
+
+
+def height_remaining(value: LatticeValue) -> int:
+    """How many more times this value can be lowered (2, 1, or 0)."""
+    if value is TOP:
+        return 2
+    if value is BOTTOM:
+        return 0
+    return 1
+
+
+def constant_from_python(value) -> LatticeValue:
+    """Map a runtime Python value into the lattice.
+
+    Integers and booleans are constants; floats (REAL) and everything else
+    fall to ⊥, per the paper's integers-only policy.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value
+    return BOTTOM

@@ -1,0 +1,110 @@
+"""Return jump function generation (§3.2, stage 1 of the analyzer).
+
+A bottom-up walk over the call graph's SCC condensation. For each
+procedure, SSA + value numbering produce, for every formal, every scalar
+global, and (for functions) the result variable, a symbolic expression for
+its value at procedure return, in terms of the procedure's *entry* values
+— the polynomial return jump function.
+
+Value numbering consults the return jump functions of already-processed
+callees, so constants discovered deep in the call graph surface through
+chains of returns in one pass (this is what makes ``ocean``-style
+initialization routines work). Procedures on call-graph cycles see missing
+summaries for their SCC-mates, which degrade to ⊥ — the 1993
+implementation's behaviour for not-yet-analyzed routines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.ssa import SSAProcedure, build_ssa
+from repro.analysis.valuenum import RESULT_KEY, ValueNumbering, value_number
+from repro.callgraph.graph import CallGraph
+from repro.callgraph.modref import ModRefInfo, make_call_effects
+from repro.core.config import AnalysisConfig
+from repro.core.exprs import EntryExpr, ValueExpr
+from repro.frontend.astnodes import Type
+from repro.frontend.symbols import SymbolKind
+from repro.ir.lower import LoweredProgram
+
+#: proc name -> (formal name | GlobalId | RESULT_KEY) -> ValueExpr.
+ReturnTable = dict[str, dict[object, ValueExpr]]
+
+
+@dataclass
+class ReturnFunctionResult:
+    """The return jump function table plus per-procedure build artifacts."""
+
+    table: ReturnTable = field(default_factory=dict)
+    ssas: dict[str, SSAProcedure] = field(default_factory=dict)
+    numberings: dict[str, ValueNumbering] = field(default_factory=dict)
+
+    def function(self, proc: str, key) -> ValueExpr | None:
+        return self.table.get(proc, {}).get(key)
+
+    def count_nontrivial(self) -> int:
+        """Return jump functions that are not the identity and not ⊥ —
+        a rough measure of how much the stage discovered."""
+        count = 0
+        for proc_table in self.table.values():
+            for key, expr in proc_table.items():
+                if expr.is_bottom:
+                    continue
+                if isinstance(expr, EntryExpr) and expr.key == key:
+                    continue
+                count += 1
+        return count
+
+
+def build_return_jump_functions(
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    modref: ModRefInfo,
+    config: AnalysisConfig,
+) -> ReturnFunctionResult:
+    """Stage 1: the bottom-up pass of §4.1.
+
+    With ``config.use_return_jump_functions`` false, returns an empty
+    table (Table 2's "No Return Jump Functions" columns) — calls then
+    simply kill whatever MOD says they may modify.
+    """
+    result = ReturnFunctionResult()
+    if not config.use_return_jump_functions:
+        return result
+
+    active_modref = modref if config.use_mod else None
+    for scc in graph.bottom_up_sccs():
+        for name in scc:
+            lowered_proc = lowered.procedures[name]
+            effects = make_call_effects(lowered, name, active_modref)
+            ssa = build_ssa(lowered_proc, effects)
+            numbering = value_number(
+                ssa,
+                lowered,
+                result.table,
+                config.compose_return_functions,
+            )
+            result.ssas[name] = ssa
+            result.numberings[name] = numbering
+            result.table[name] = _extract_functions(lowered_proc, numbering)
+    return result
+
+
+def _extract_functions(lowered_proc, numbering: ValueNumbering) -> dict[object, ValueExpr]:
+    """Exit-value expressions for everything a caller could observe."""
+    functions: dict[object, ValueExpr] = {}
+    procedure = lowered_proc.procedure
+    for symbol in numbering.ssa.variables:
+        if symbol.type not in (Type.INTEGER, Type.LOGICAL):
+            continue
+        expr = numbering.exit_expr(symbol)
+        if expr.is_bottom:
+            continue
+        if symbol.kind is SymbolKind.FORMAL:
+            functions[symbol.name] = expr
+        elif symbol.kind is SymbolKind.GLOBAL:
+            functions[symbol.global_id] = expr
+        elif symbol.kind is SymbolKind.RESULT:
+            functions[RESULT_KEY] = expr
+    return functions

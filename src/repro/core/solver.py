@@ -1,0 +1,115 @@
+"""Interprocedural propagation (stage 3, §4.1): a worklist iterative
+solver over the call graph.
+
+``VAL(p)`` maps each of ``p``'s entry keys (scalar formal names and every
+scalar global id) to a lattice value, initially ⊤. The main program's
+globals start at their DATA values (or ⊥ when uninitialized). Each call
+edge transfers ``evaluate(jump function, VAL(caller))`` into the callee,
+met with the callee's current approximation (Figure 1).
+
+Because the lattice has bounded depth (each value lowers at most twice),
+the solver terminates after O(Σ |keys|) meets; the cost of each pass is
+the cost of the jump-function evaluations, exactly as analyzed in §3.1.5.
+Procedures never reached from the main program keep ⊤ (paper §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.graph import CallGraph
+from repro.core.builder import ForwardFunctions
+from repro.core.exprs import EntryKey
+from repro.core.lattice import BOTTOM, TOP, LatticeValue, is_constant, meet
+from repro.frontend.astnodes import Type
+from repro.frontend.symbols import GlobalId
+from repro.ir.lower import LoweredProgram
+
+
+@dataclass
+class SolveResult:
+    """VAL sets plus solver statistics."""
+
+    val: dict[str, dict[EntryKey, LatticeValue]] = field(default_factory=dict)
+    reached: set[str] = field(default_factory=set)
+    passes: int = 0
+    evaluations: int = 0
+    meets: int = 0
+
+    def constants(self, proc: str) -> dict[EntryKey, LatticeValue]:
+        """CONSTANTS(p): the entry keys proven constant (paper §2)."""
+        return {
+            key: value
+            for key, value in self.val.get(proc, {}).items()
+            if is_constant(value)
+        }
+
+    def all_constants(self) -> dict[str, dict[EntryKey, LatticeValue]]:
+        return {proc: self.constants(proc) for proc in self.val}
+
+
+def initial_val(lowered: LoweredProgram) -> dict[str, dict[EntryKey, LatticeValue]]:
+    """⊤ everywhere, except the main program's entry environment."""
+    scalar_gids = [
+        gid
+        for gid, gvar in lowered.program.globals.items()
+        if not gvar.is_array and gvar.type in (Type.INTEGER, Type.LOGICAL)
+    ]
+    val: dict[str, dict[EntryKey, LatticeValue]] = {}
+    for name, lowered_proc in lowered.procedures.items():
+        env: dict[EntryKey, LatticeValue] = {}
+        for formal in lowered_proc.procedure.formals:
+            if not formal.is_array and formal.type in (Type.INTEGER, Type.LOGICAL):
+                env[formal.name] = TOP
+        for gid in scalar_gids:
+            env[gid] = TOP
+        val[name] = env
+
+    main_env = val[lowered.program.main]
+    for gid in scalar_gids:
+        data = lowered.program.globals[gid].data_value
+        if isinstance(data, bool) or isinstance(data, int):
+            main_env[gid] = data
+        else:
+            main_env[gid] = BOTTOM  # uninitialized storage: unknown
+    return val
+
+
+def solve(
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    forward: ForwardFunctions,
+) -> SolveResult:
+    """Run the worklist propagation to a fixpoint."""
+    result = SolveResult(val=initial_val(lowered))
+    val = result.val
+
+    worklist: list[str] = [lowered.program.main]
+    queued = {lowered.program.main}
+    while worklist:
+        caller = worklist.pop()
+        queued.discard(caller)
+        result.reached.add(caller)
+        result.passes += 1
+        env = val[caller]
+        for callee_name, call in graph.call_sites_from(caller):
+            site = forward.sites.get(call.site_id)
+            if site is None:
+                continue
+            callee_env = val[callee_name]
+            changed = False
+            for key in callee_env:
+                function = site.function_for(key)
+                result.evaluations += 1
+                incoming = function.evaluate(env) if function is not None else BOTTOM
+                result.meets += 1
+                lowered_value = meet(callee_env[key], incoming)
+                if lowered_value is not callee_env[key] and lowered_value != callee_env[key]:
+                    callee_env[key] = lowered_value
+                    changed = True
+            if (changed or callee_name not in result.reached) and (
+                callee_name not in queued
+            ):
+                worklist.append(callee_name)
+                queued.add(callee_name)
+    return result

@@ -1,0 +1,48 @@
+"""Dependence-analysis consumer of interprocedural constants.
+
+The paper motivates ICP through its clients (§1): Shen, Li, and Yew found
+that knowing interprocedural constants made ~50% of previously *nonlinear*
+array subscripts linear, and linear subscripts are what dependence tests
+can analyze; Eigenmann and Blume found interprocedural constants are often
+loop bounds, feeding parallelization profitability decisions.
+
+This package implements those clients:
+
+- :mod:`repro.depend.subscripts` — affine-form extraction: is a subscript
+  a linear function of the enclosing loop induction variables, given what
+  the analyzer knows to be constant?
+- :mod:`repro.depend.dependence` — classic single-subscript dependence
+  tests (GCD and bounds) over affine subscript pairs.
+- :mod:`repro.depend.loops` — loop classification: dependence-free DO
+  loops with known trip counts are parallelizable-and-profitable.
+
+Each client can be run *with* or *without* a CONSTANTS environment, which
+is exactly the Shen–Li–Yew experiment.
+"""
+
+from repro.depend.subscripts import (
+    AffineSubscript,
+    LinearityReport,
+    classify_subscripts,
+    extract_affine,
+)
+from repro.depend.dependence import (
+    DependenceResult,
+    gcd_test,
+    bounds_test,
+    may_depend,
+)
+from repro.depend.loops import LoopClassification, classify_loops
+
+__all__ = [
+    "AffineSubscript",
+    "DependenceResult",
+    "LinearityReport",
+    "LoopClassification",
+    "bounds_test",
+    "classify_loops",
+    "classify_subscripts",
+    "extract_affine",
+    "gcd_test",
+    "may_depend",
+]

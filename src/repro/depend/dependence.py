@@ -1,0 +1,113 @@
+"""Classic single-subscript dependence tests over affine forms.
+
+Two references ``A(f(i))`` and ``A(g(i))`` in a common loop nest may
+access the same element only if ``f(i1) = g(i2)`` has an integer solution
+within the loop bounds. Two standard conservative tests:
+
+- **GCD test**: ``a1*i1 - a2*i2 = c2 - c1`` has an integer solution only
+  if ``gcd(a1, a2)`` divides ``c2 - c1``. (Ignores bounds.)
+- **Bounds (Banerjee-style) test**: the extreme values of
+  ``f(i1) - g(i2)`` over the iteration ranges must straddle zero.
+
+Both tests answer "no dependence" (definitely independent) or "maybe"
+(conservatively dependent). A nonlinear subscript is always "maybe" —
+which is why the Shen–Li–Yew linearity improvement matters.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.depend.subscripts import AffineSubscript
+
+
+class DependenceResult(enum.Enum):
+    INDEPENDENT = "independent"
+    MAYBE = "maybe"
+
+
+def gcd_test(
+    source: AffineSubscript, sink: AffineSubscript
+) -> DependenceResult:
+    """GCD test over all induction variables of both forms."""
+    coefficients = [value for _, value in source.coefficients]
+    coefficients.extend(value for _, value in sink.coefficients)
+    difference = sink.constant - source.constant
+    if not coefficients:
+        # both invariant: same element iff constants equal
+        return (
+            DependenceResult.MAYBE
+            if difference == 0
+            else DependenceResult.INDEPENDENT
+        )
+    divisor = 0
+    for value in coefficients:
+        divisor = math.gcd(divisor, abs(value))
+    if divisor == 0:
+        return (
+            DependenceResult.MAYBE
+            if difference == 0
+            else DependenceResult.INDEPENDENT
+        )
+    if difference % divisor != 0:
+        return DependenceResult.INDEPENDENT
+    return DependenceResult.MAYBE
+
+
+@dataclass(frozen=True)
+class LoopRange:
+    """Inclusive iteration range of one induction variable."""
+
+    var: str
+    low: int
+    high: int
+
+
+def bounds_test(
+    source: AffineSubscript,
+    sink: AffineSubscript,
+    ranges: dict[str, LoopRange],
+) -> DependenceResult:
+    """Banerjee-style extreme-value test.
+
+    ``f(i) - g(i') = 0`` can hold only if 0 lies between the minimum and
+    maximum of the difference over the iteration space. Source and sink
+    iterate independently (distinct solution variables), so each form's
+    contribution uses its own extreme.
+    """
+    minimum = source.constant - sink.constant
+    maximum = minimum
+    for name, value in source.coefficients:
+        loop = ranges.get(name)
+        if loop is None:
+            return DependenceResult.MAYBE  # unknown bounds
+        low_term, high_term = sorted((value * loop.low, value * loop.high))
+        minimum += low_term
+        maximum += high_term
+    for name, value in sink.coefficients:
+        loop = ranges.get(name)
+        if loop is None:
+            return DependenceResult.MAYBE
+        low_term, high_term = sorted((-value * loop.high, -value * loop.low))
+        minimum += low_term
+        maximum += high_term
+    if minimum > 0 or maximum < 0:
+        return DependenceResult.INDEPENDENT
+    return DependenceResult.MAYBE
+
+
+def may_depend(
+    source: AffineSubscript | None,
+    sink: AffineSubscript | None,
+    ranges: dict[str, LoopRange] | None = None,
+) -> DependenceResult:
+    """Combined conservative answer; nonlinear (None) forms are MAYBE."""
+    if source is None or sink is None:
+        return DependenceResult.MAYBE
+    if gcd_test(source, sink) is DependenceResult.INDEPENDENT:
+        return DependenceResult.INDEPENDENT
+    if ranges:
+        return bounds_test(source, sink, ranges)
+    return DependenceResult.MAYBE

@@ -1,0 +1,272 @@
+"""Affine-form extraction for array subscripts.
+
+A subscript is *linear* (affine) in the enclosing loop nest when it can be
+written ``c0 + c1*i1 + ... + ck*ik`` with every coefficient a compile-time
+integer constant and each ``ij`` an enclosing DO induction variable.
+Dependence tests (GCD, Banerjee, ...) require this form; anything else is
+*nonlinear* to them and forces worst-case assumptions.
+
+Whether a coefficient is "a compile-time constant" depends on what the
+compiler knows: a named PARAMETER always is; a formal parameter or COMMON
+variable is only if interprocedural constant propagation proved it. That
+gap is the Shen–Li–Yew measurement this module reproduces: classify every
+subscript twice, once with an empty CONSTANTS environment and once with
+the analyzer's, and count how many nonlinear subscripts become linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import semantics
+from repro.core.lattice import is_constant
+from repro.frontend import astnodes as ast
+from repro.frontend.symbols import Procedure, SymbolKind
+
+
+@dataclass(frozen=True)
+class AffineSubscript:
+    """``constant + Σ coefficients[v] * v`` over induction variables."""
+
+    constant: int
+    coefficients: tuple[tuple[str, int], ...] = ()
+
+    def coefficient(self, var: str) -> int:
+        for name, value in self.coefficients:
+            if name == var:
+                return value
+        return 0
+
+    @property
+    def is_invariant(self) -> bool:
+        return not self.coefficients
+
+    def __str__(self) -> str:
+        parts = [str(self.constant)]
+        for name, value in self.coefficients:
+            parts.append(f"{value}*{name}")
+        return " + ".join(parts)
+
+
+class _NonLinear(Exception):
+    """Raised internally when an expression leaves the affine domain."""
+
+
+def _combine(
+    left: dict[str | None, int], right: dict[str | None, int], sign: int
+) -> dict[str | None, int]:
+    result = dict(left)
+    for key, value in right.items():
+        result[key] = result.get(key, 0) + sign * value
+    return result
+
+
+def _affine_terms(
+    expr: ast.Expr,
+    induction_vars: set[str],
+    known,
+    procedure: Procedure,
+) -> dict[str | None, int]:
+    """Map {None: constant, var: coefficient}; raises _NonLinear."""
+    if isinstance(expr, ast.IntLit):
+        return {None: expr.value}
+    if isinstance(expr, ast.VarRef):
+        if expr.name in induction_vars:
+            return {expr.name: 1}
+        value = _known_value(expr.name, known, procedure)
+        if value is None:
+            raise _NonLinear(expr.name)
+        return {None: value}
+    if isinstance(expr, ast.UnaryOp):
+        terms = _affine_terms(expr.operand, induction_vars, known, procedure)
+        if expr.op == "-":
+            return {k: -v for k, v in terms.items()}
+        if expr.op == "+":
+            return terms
+        raise _NonLinear(expr.op)
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in ("+", "-"):
+            left = _affine_terms(expr.left, induction_vars, known, procedure)
+            right = _affine_terms(expr.right, induction_vars, known, procedure)
+            return _combine(left, right, 1 if expr.op == "+" else -1)
+        if expr.op == "*":
+            left = _affine_terms(expr.left, induction_vars, known, procedure)
+            right = _affine_terms(expr.right, induction_vars, known, procedure)
+            left_const = set(left) <= {None}
+            right_const = set(right) <= {None}
+            if left_const:
+                factor = left.get(None, 0)
+                return {k: factor * v for k, v in right.items()}
+            if right_const:
+                factor = right.get(None, 0)
+                return {k: factor * v for k, v in left.items()}
+            raise _NonLinear("product of two variables")
+        if expr.op == "/":
+            left = _affine_terms(expr.left, induction_vars, known, procedure)
+            right = _affine_terms(expr.right, induction_vars, known, procedure)
+            if set(left) <= {None} and set(right) <= {None}:
+                divisor = right.get(None, 0)
+                if divisor == 0:
+                    raise _NonLinear("division by zero")
+                return {None: semantics.int_div(left.get(None, 0), divisor)}
+            raise _NonLinear("division by a variable")
+        raise _NonLinear(expr.op)
+    if isinstance(expr, ast.FunctionCall):
+        # intrinsics of all-constant arguments fold; anything else is out
+        try:
+            args = []
+            for arg in expr.args:
+                terms = _affine_terms(arg, induction_vars, known, procedure)
+                if set(terms) <= {None}:
+                    args.append(terms.get(None, 0))
+                else:
+                    raise _NonLinear("intrinsic of induction variable")
+            return {None: int(semantics.apply_intrinsic(expr.name, args))}
+        except (semantics.EvalError, ValueError) as exc:
+            raise _NonLinear(str(exc)) from exc
+    raise _NonLinear(type(expr).__name__)
+
+
+def _known_value(name: str, known, procedure: Procedure) -> int | None:
+    symbol = procedure.symtab.lookup(name)
+    if symbol is None:
+        return None
+    if symbol.kind is SymbolKind.NAMED_CONST and isinstance(
+        symbol.const_value, int
+    ):
+        return symbol.const_value
+    value = known.get(name) if known else None
+    if (
+        value is not None
+        and is_constant(value)
+        and isinstance(value, int)
+        and not isinstance(value, bool)
+    ):
+        return value
+    return None
+
+
+def extract_affine(
+    expr: ast.Expr,
+    induction_vars: set[str],
+    known=None,
+    procedure: Procedure | None = None,
+) -> AffineSubscript | None:
+    """Affine form of ``expr``, or None if it is nonlinear.
+
+    ``known`` maps variable names to lattice values (a CONSTANTS(p)
+    environment as produced by ``AnalysisResult.constants``); ``procedure``
+    supplies named constants.
+    """
+    assert procedure is not None
+    try:
+        terms = _affine_terms(expr, induction_vars, known or {}, procedure)
+    except _NonLinear:
+        return None
+    constant = terms.pop(None, 0)
+    coefficients = tuple(
+        sorted((name, value) for name, value in terms.items() if value != 0)
+    )
+    return AffineSubscript(constant=constant, coefficients=coefficients)
+
+
+@dataclass
+class SubscriptSite:
+    """One array subscript occurrence."""
+
+    procedure: str
+    array: str
+    dimension: int
+    expr: ast.Expr
+    loop_nest: tuple[str, ...]
+    affine: AffineSubscript | None = None
+
+    @property
+    def is_linear(self) -> bool:
+        return self.affine is not None
+
+
+@dataclass
+class LinearityReport:
+    """Shen–Li–Yew's measurement for one program."""
+
+    sites: list[SubscriptSite] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.sites)
+
+    @property
+    def linear(self) -> int:
+        return sum(1 for s in self.sites if s.is_linear)
+
+    @property
+    def nonlinear(self) -> int:
+        return self.total - self.linear
+
+    def nonlinear_sites(self) -> list[SubscriptSite]:
+        return [s for s in self.sites if not s.is_linear]
+
+
+def _walk_array_refs(stmts, loop_nest: tuple[str, ...]):
+    """Yield (array ref, enclosing loop nest) for every subscripted access."""
+    for stmt in stmts:
+        exprs: list[ast.Expr] = []
+        if isinstance(stmt, ast.Assign):
+            exprs.append(stmt.value)
+            if isinstance(stmt.target, ast.ArrayRef):
+                yield stmt.target, loop_nest
+                exprs.extend(stmt.target.indices)
+        elif isinstance(stmt, ast.IfStmt):
+            exprs.append(stmt.cond)
+            yield from _walk_array_refs(stmt.then_body, loop_nest)
+            yield from _walk_array_refs(stmt.else_body, loop_nest)
+        elif isinstance(stmt, ast.DoLoop):
+            exprs.extend([stmt.first, stmt.last])
+            if stmt.step is not None:
+                exprs.append(stmt.step)
+            inner_nest = loop_nest + (stmt.var.name,)
+            yield from _walk_array_refs(stmt.body, inner_nest)
+        elif isinstance(stmt, ast.DoWhile):
+            exprs.append(stmt.cond)
+            yield from _walk_array_refs(stmt.body, loop_nest)
+        elif isinstance(stmt, ast.CallStmt):
+            exprs.extend(stmt.args)
+        elif isinstance(stmt, ast.WriteStmt):
+            exprs.extend(stmt.values)
+        elif isinstance(stmt, ast.ReadStmt):
+            for target in stmt.targets:
+                if isinstance(target, ast.ArrayRef):
+                    yield target, loop_nest
+        for expr in exprs:
+            for node in ast.walk_expr(expr):
+                if isinstance(node, ast.ArrayRef):
+                    yield node, loop_nest
+
+
+def classify_subscripts(result, constants_env: bool = True) -> LinearityReport:
+    """Classify every subscript in an analyzed program.
+
+    ``result`` is an :class:`~repro.core.driver.AnalysisResult`;
+    ``constants_env=False`` classifies with no interprocedural knowledge
+    (the "before" column of the Shen–Li–Yew experiment)."""
+    report = LinearityReport()
+    for name, lowered_proc in result.lowered.procedures.items():
+        procedure = lowered_proc.procedure
+        known = result.constants(name) if constants_env else {}
+        for ref, nest in _walk_array_refs(procedure.ast.body, ()):
+            for dim, index_expr in enumerate(ref.indices):
+                affine = extract_affine(
+                    index_expr, set(nest), known, procedure
+                )
+                report.sites.append(
+                    SubscriptSite(
+                        procedure=name,
+                        array=ref.name,
+                        dimension=dim,
+                        expr=index_expr,
+                        loop_nest=nest,
+                        affine=affine,
+                    )
+                )
+    return report

@@ -1,0 +1,40 @@
+"""Front-end error types.
+
+All front-end failures derive from :class:`FrontendError` so callers can
+catch one type. Each error carries the source location it was raised at and
+formats as ``line:col: message``.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.source import SourceLocation
+
+
+class FrontendError(Exception):
+    """Base class for lexing, parsing, and semantic errors."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.location is None:
+            return self.message
+        return f"{self.location}: {self.message}"
+
+
+class LexError(FrontendError):
+    """An unrecognized or malformed token."""
+
+
+class ParseError(FrontendError):
+    """A syntactically invalid program."""
+
+
+class SemanticError(FrontendError):
+    """A program that parses but violates MiniFortran's static rules.
+
+    Examples: calling an undeclared procedure, inconsistent COMMON block
+    layouts, using an array name as a scalar, duplicate procedure names.
+    """

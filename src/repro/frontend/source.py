@@ -1,0 +1,63 @@
+"""Source locations and spans.
+
+Every token and every AST node that names a variable carries a span back
+into the original text. The substitution stage (``repro.core.substitute``)
+relies on these spans to splice constant literals into the program source,
+reproducing the paper's "transformed version of the original source".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A position in the source text.
+
+    ``line`` and ``column`` are 1-based (editor convention); ``offset`` is
+    the 0-based character index into the source string.
+    """
+
+    line: int
+    column: int
+    offset: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, order=True)
+class SourceSpan:
+    """A half-open character range ``[start, end)`` in the source text."""
+
+    start: SourceLocation
+    end: SourceLocation
+
+    @property
+    def text_range(self) -> tuple[int, int]:
+        return (self.start.offset, self.end.offset)
+
+    def extract(self, source: str) -> str:
+        """Return the text this span covers in ``source``."""
+        return source[self.start.offset : self.end.offset]
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        """Smallest span covering both ``self`` and ``other``."""
+        start = min(self.start, other.start)
+        end = max(self.end, other.end)
+        return SourceSpan(start, end)
+
+    def __str__(self) -> str:
+        return f"{self.start}-{self.end}"
+
+
+def span_at(line: int, column: int, offset: int, length: int) -> SourceSpan:
+    """Build a single-line span of ``length`` characters."""
+    start = SourceLocation(line, column, offset)
+    end = SourceLocation(line, column + length, offset + length)
+    return SourceSpan(start, end)
+
+
+DUMMY_SPAN = span_at(0, 0, 0, 0)
+"""Span used for synthesized nodes that have no source counterpart."""

@@ -1,0 +1,194 @@
+"""AST → MiniFortran source (the inverse of the parser).
+
+Produces text that re-parses to a structurally identical program —
+the round-trip property the hypothesis tests rely on — and is used by
+procedure cloning to materialize duplicated routines.
+
+Operator precedence is handled by parenthesizing any operand whose
+operator binds less tightly than its parent (never *removing* parentheses
+the semantics needs).
+"""
+
+from __future__ import annotations
+
+from repro.frontend import astnodes as ast
+
+_PRECEDENCE = {
+    ".or.": 1,
+    ".and.": 2,
+    "==": 4,
+    "/=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "**": 8,
+}
+
+_UNARY_PRECEDENCE = {".not.": 3, "-": 7, "+": 7}
+
+
+def unparse_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    text, prec = _expr_with_prec(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr_with_prec(expr: ast.Expr) -> tuple[str, int]:
+    if isinstance(expr, ast.IntLit):
+        if expr.value < 0:
+            return (str(expr.value), _UNARY_PRECEDENCE["-"])
+        return (str(expr.value), 10)
+    if isinstance(expr, ast.RealLit):
+        text = repr(float(expr.value))
+        if "e" not in text and "." not in text:  # pragma: no cover
+            text += ".0"
+        return (text, 10 if expr.value >= 0 else _UNARY_PRECEDENCE["-"])
+    if isinstance(expr, ast.LogicalLit):
+        return (".true." if expr.value else ".false.", 10)
+    if isinstance(expr, ast.StringLit):
+        return (f"'{expr.value}'", 10)
+    if isinstance(expr, ast.VarRef):
+        return (expr.name, 10)
+    if isinstance(expr, ast.ArrayRef):
+        inner = ", ".join(unparse_expr(i) for i in expr.indices)
+        return (f"{expr.name}({inner})", 10)
+    if isinstance(expr, ast.FunctionCall):
+        inner = ", ".join(unparse_expr(a) for a in expr.args)
+        return (f"{expr.name}({inner})", 10)
+    if isinstance(expr, ast.UnaryOp):
+        prec = _UNARY_PRECEDENCE[expr.op]
+        operand = unparse_expr(expr.operand, prec)
+        space = " " if expr.op == ".not." else ""
+        return (f"{expr.op}{space}{operand}", prec)
+    if isinstance(expr, ast.BinaryOp):
+        prec = _PRECEDENCE[expr.op]
+        # Binary operators are left-associative except '**'.
+        left_prec = prec if expr.op == "**" else prec
+        right_prec = prec + (0 if expr.op == "**" else 1)
+        left = unparse_expr(expr.left, left_prec)
+        right = unparse_expr(expr.right, right_prec)
+        return (f"{left} {expr.op} {right}", prec)
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def _unparse_decl(decl: ast.Decl) -> str:
+    if isinstance(decl, ast.TypeDecl):
+        names = ", ".join(_declarator(d) for d in decl.declarators)
+        return f"  {decl.type.value} {names}"
+    if isinstance(decl, ast.DimensionDecl):
+        names = ", ".join(_declarator(d) for d in decl.declarators)
+        return f"  dimension {names}"
+    if isinstance(decl, ast.CommonDecl):
+        names = ", ".join(_declarator(d) for d in decl.declarators)
+        return f"  common /{decl.block}/ {names}"
+    if isinstance(decl, ast.DataDecl):
+        pairs = ", ".join(
+            f"{name} /{unparse_expr(value)}/" for name, value in decl.pairs
+        )
+        return f"  data {pairs}"
+    if isinstance(decl, ast.ParameterDecl):
+        pairs = ", ".join(
+            f"{name} = {unparse_expr(value)}" for name, value in decl.pairs
+        )
+        return f"  parameter ({pairs})"
+    raise TypeError(f"cannot unparse {type(decl).__name__}")
+
+
+def _declarator(declarator: ast.Declarator) -> str:
+    if not declarator.dims:
+        return declarator.name
+    dims = ", ".join(unparse_expr(d) for d in declarator.dims)
+    return f"{declarator.name}({dims})"
+
+
+def _unparse_stmt(stmt: ast.Stmt, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    label = f"{stmt.label} " if stmt.label is not None else ""
+
+    def put(text: str) -> None:
+        lines.append(f"{pad}{label}{text}")
+
+    if isinstance(stmt, ast.Assign):
+        target = (
+            stmt.target.name
+            if isinstance(stmt.target, ast.VarRef)
+            else _expr_with_prec(stmt.target)[0]
+        )
+        put(f"{target} = {unparse_expr(stmt.value)}")
+    elif isinstance(stmt, ast.IfStmt):
+        put(f"if ({unparse_expr(stmt.cond)}) then")
+        for inner in stmt.then_body:
+            _unparse_stmt(inner, indent + 1, lines)
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            for inner in stmt.else_body:
+                _unparse_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}endif")
+    elif isinstance(stmt, ast.DoLoop):
+        head = (
+            f"do {stmt.var.name} = {unparse_expr(stmt.first)}, "
+            f"{unparse_expr(stmt.last)}"
+        )
+        if stmt.step is not None:
+            head += f", {unparse_expr(stmt.step)}"
+        put(head)
+        for inner in stmt.body:
+            _unparse_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}enddo")
+    elif isinstance(stmt, ast.DoWhile):
+        put(f"do while ({unparse_expr(stmt.cond)})")
+        for inner in stmt.body:
+            _unparse_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}enddo")
+    elif isinstance(stmt, ast.CallStmt):
+        if stmt.args:
+            args = ", ".join(unparse_expr(a) for a in stmt.args)
+            put(f"call {stmt.name}({args})")
+        else:
+            put(f"call {stmt.name}")
+    elif isinstance(stmt, ast.Goto):
+        put(f"goto {stmt.target}")
+    elif isinstance(stmt, ast.Continue):
+        put("continue")
+    elif isinstance(stmt, ast.ReturnStmt):
+        put("return")
+    elif isinstance(stmt, ast.StopStmt):
+        put("stop")
+    elif isinstance(stmt, ast.ReadStmt):
+        targets = ", ".join(_expr_with_prec(t)[0] for t in stmt.targets)
+        put(f"read {targets}")
+    elif isinstance(stmt, ast.WriteStmt):
+        values = ", ".join(unparse_expr(v) for v in stmt.values)
+        put(f"write {values}")
+    else:
+        raise TypeError(f"cannot unparse {type(stmt).__name__}")
+
+
+def unparse_procedure(proc: ast.ProcedureDef) -> str:
+    """One program unit back to source."""
+    if proc.kind is ast.ProcedureKind.PROGRAM:
+        head = f"program {proc.name}"
+    elif proc.kind is ast.ProcedureKind.SUBROUTINE:
+        params = f"({', '.join(proc.params)})" if proc.params else ""
+        head = f"subroutine {proc.name}{params}"
+    else:
+        return_type = proc.return_type.value if proc.return_type else "integer"
+        head = f"{return_type} function {proc.name}({', '.join(proc.params)})"
+    lines = [head]
+    for decl in proc.decls:
+        lines.append(_unparse_decl(decl))
+    for stmt in proc.body:
+        _unparse_stmt(stmt, 1, lines)
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def unparse(unit: ast.CompilationUnit) -> str:
+    """A whole compilation unit back to source text."""
+    return "\n\n".join(unparse_procedure(p) for p in unit.procedures) + "\n"

@@ -1,0 +1,26 @@
+"""Reference interpreter for MiniFortran.
+
+Executes the lowered IR directly (call-by-reference, COMMON storage,
+FORTRAN arithmetic) and records the values of every formal and global at
+every procedure entry. The recorded trace is the ground truth against
+which the analyzer's CONSTANTS sets are differentially tested: every
+claimed interprocedural constant must equal the observed value on every
+recorded invocation.
+"""
+
+from repro.interp.interpreter import (
+    ExecutionTrace,
+    InterpError,
+    Interpreter,
+    run_program,
+)
+from repro.interp.soundness import SoundnessViolation, check_soundness
+
+__all__ = [
+    "ExecutionTrace",
+    "InterpError",
+    "Interpreter",
+    "SoundnessViolation",
+    "check_soundness",
+    "run_program",
+]

@@ -1,0 +1,66 @@
+"""Differential soundness checking.
+
+``CONSTANTS(p)`` claims that a (name, value) pair holds on *every* entry
+to ``p`` (paper §2). The interpreter records the actual entry values; this
+module cross-checks every claim against every recorded invocation. Any
+mismatch is a soundness bug in the analyzer — the strongest form of
+validation the reproduction has.
+
+A claimed constant for an entry the trace never recorded (the variable was
+undefined at run time, or the procedure was never called) is vacuously
+sound and is skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.driver import AnalysisResult
+from repro.interp.interpreter import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class SoundnessViolation:
+    """One observed contradiction of a CONSTANTS claim."""
+
+    procedure: str
+    key: object
+    claimed: object
+    observed: object
+    invocation: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.procedure}: claimed {self.key} = {self.claimed!r} but "
+            f"invocation {self.invocation} observed {self.observed!r}"
+        )
+
+
+def check_soundness(
+    result: AnalysisResult, trace: ExecutionTrace
+) -> list[SoundnessViolation]:
+    """Return every violated constant claim (empty list = sound run)."""
+    violations: list[SoundnessViolation] = []
+    for proc_name in result.lowered.procedures:
+        claims = result.solved.constants(proc_name)
+        if not claims:
+            continue
+        for invocation, snapshot in enumerate(trace.invocations(proc_name)):
+            for key, claimed in claims.items():
+                if key not in snapshot:
+                    continue
+                observed = snapshot[key]
+                matches = observed == claimed and isinstance(
+                    observed, bool
+                ) == isinstance(claimed, bool)
+                if not matches:
+                    violations.append(
+                        SoundnessViolation(
+                            procedure=proc_name,
+                            key=key,
+                            claimed=claimed,
+                            observed=observed,
+                            invocation=invocation,
+                        )
+                    )
+    return violations

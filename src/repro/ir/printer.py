@@ -1,0 +1,93 @@
+"""Human-readable IR listings (debugging and golden tests)."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CallKill,
+    CJump,
+    Convert,
+    Copy,
+    Instr,
+    IntrinsicOp,
+    Jump,
+    LoadArr,
+    Phi,
+    ReadArr,
+    ReadVar,
+    Return,
+    Stop,
+    StoreArr,
+    UnOp,
+    WriteOut,
+)
+
+
+def format_instr(instr: Instr) -> str:
+    if isinstance(instr, BinOp):
+        return f"{instr.dest} = {instr.left} {instr.op} {instr.right}"
+    if isinstance(instr, UnOp):
+        return f"{instr.dest} = {instr.op} {instr.operand}"
+    if isinstance(instr, Convert):
+        return f"{instr.dest} = ({instr.to_type.value}) {instr.operand}"
+    if isinstance(instr, IntrinsicOp):
+        args = ", ".join(str(a) for a in instr.args)
+        return f"{instr.dest} = {instr.name}({args})"
+    if isinstance(instr, Copy):
+        return f"{instr.dest} = {instr.src}"
+    if isinstance(instr, LoadArr):
+        indices = ", ".join(str(i) for i in instr.indices)
+        return f"{instr.dest} = {instr.array.name}({indices})"
+    if isinstance(instr, StoreArr):
+        indices = ", ".join(str(i) for i in instr.indices)
+        return f"{instr.array.name}({indices}) = {instr.src}"
+    if isinstance(instr, Call):
+        args = ", ".join(str(a) for a in instr.args)
+        prefix = f"{instr.dest} = " if instr.dest is not None else ""
+        return f"{prefix}call {instr.callee}({args})  [site {instr.site_id}]"
+    if isinstance(instr, CallKill):
+        kind, payload = instr.binding
+        return f"{instr.target} = callkill[{kind} {payload}] of site {instr.call.site_id}"
+    if isinstance(instr, ReadVar):
+        return f"read {instr.target}"
+    if isinstance(instr, ReadArr):
+        indices = ", ".join(str(i) for i in instr.indices)
+        return f"read {instr.array.name}({indices})"
+    if isinstance(instr, WriteOut):
+        values = ", ".join(str(v) for v in instr.values)
+        return f"write {values}"
+    if isinstance(instr, Phi):
+        inputs = ", ".join(f"B{b}: {v}" for b, v in sorted(instr.incoming.items()))
+        return f"{instr.dest} = phi({inputs})"
+    if isinstance(instr, Jump):
+        return f"jump B{instr.target}"
+    if isinstance(instr, CJump):
+        return f"if {instr.cond} then B{instr.if_true} else B{instr.if_false}"
+    if isinstance(instr, Return):
+        return "return"
+    if isinstance(instr, Stop):
+        return "stop"
+    return repr(instr)
+
+
+def format_cfg(cfg: ControlFlowGraph, name: str = "") -> str:
+    lines = []
+    if name:
+        lines.append(f"procedure {name} (entry B{cfg.entry_id}, exit B{cfg.exit_id})")
+    for block_id in sorted(cfg.blocks):
+        block = cfg.blocks[block_id]
+        preds = ", ".join(f"B{p}" for p in sorted(block.preds))
+        lines.append(f"B{block_id}:" + (f"  ; preds: {preds}" if preds else ""))
+        for instr in block.instrs:
+            lines.append(f"  {format_instr(instr)}")
+    return "\n".join(lines)
+
+
+def format_program(lowered) -> str:
+    """Format a :class:`LoweredProgram` as one listing."""
+    chunks = []
+    for name in sorted(lowered.procedures):
+        chunks.append(format_cfg(lowered.procedures[name].cfg, name))
+    return "\n\n".join(chunks)

@@ -1,0 +1,41 @@
+"""Regeneration of the paper's tables and figures.
+
+- :func:`run_table1` / :func:`format_table1` — program characteristics.
+- :func:`run_table2` / :func:`format_table2` — constants found per jump
+  function, with and without return jump functions.
+- :func:`run_table3` / :func:`format_table3` — MOD ablation, complete
+  propagation, and the intraprocedural baseline.
+- :func:`figure1_meet_table` — the lattice meet rules of Figure 1.
+- :func:`run_cost_report` — measured construction/solve cost per jump
+  function kind (the §3.1.5 discussion, measured).
+"""
+
+from repro.reporting.tables import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    figure1_meet_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.reporting.costs import CostRow, format_cost_report, run_cost_report
+
+__all__ = [
+    "CostRow",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "figure1_meet_table",
+    "format_cost_report",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "run_cost_report",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

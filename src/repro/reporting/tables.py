@@ -1,0 +1,187 @@
+"""Table 1, Table 2, Table 3, and Figure 1 regeneration.
+
+Each ``run_tableN`` sweeps the workload suite through the corresponding
+configurations and returns structured rows; ``format_tableN`` renders the
+paper's layout. Pass ``scale`` < 1.0 for quick runs (tests use 0.4; the
+benchmark harness runs full scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import TABLE2_CONFIGS, TABLE3_CONFIGS
+from repro.core.driver import Analyzer
+from repro.core.lattice import BOTTOM, TOP, meet
+from repro.frontend.symbols import parse_program
+from repro.workloads import load, suite_names
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    program: str
+    lines: int
+    procedures: int
+    mean_lines: float
+    median_lines: float
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    program: str
+    polynomial: int
+    pass_through: int
+    intraprocedural: int
+    literal: int
+    polynomial_no_rjf: int
+    pass_through_no_rjf: int
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    program: str
+    polynomial_no_mod: int
+    polynomial_with_mod: int
+    complete: int
+    intraprocedural_only: int
+
+
+def run_table1(scale: float = 1.0) -> list[Table1Row]:
+    """Characteristics of the program test suite (paper Table 1)."""
+    rows = []
+    for name in suite_names():
+        program = parse_program(load(name, scale).source)
+        chars = program.characteristics()
+        rows.append(
+            Table1Row(
+                program=name,
+                lines=int(chars["lines"]),
+                procedures=int(chars["procedures"]),
+                mean_lines=chars["mean_lines_per_proc"],
+                median_lines=chars["median_lines_per_proc"],
+            )
+        )
+    return rows
+
+
+def run_table2(scale: float = 1.0) -> list[Table2Row]:
+    """Constants found through use of jump functions (paper Table 2)."""
+    rows = []
+    for name in suite_names():
+        results = Analyzer(load(name, scale).source).sweep(TABLE2_CONFIGS)
+        counts = {key: r.constants_found for key, r in results.items()}
+        rows.append(
+            Table2Row(
+                program=name,
+                polynomial=counts["polynomial"],
+                pass_through=counts["pass_through"],
+                intraprocedural=counts["intraprocedural"],
+                literal=counts["literal"],
+                polynomial_no_rjf=counts["polynomial_no_rjf"],
+                pass_through_no_rjf=counts["pass_through_no_rjf"],
+            )
+        )
+    return rows
+
+
+def run_table3(scale: float = 1.0) -> list[Table3Row]:
+    """Most precise jump function vs. other techniques (paper Table 3)."""
+    rows = []
+    for name in suite_names():
+        results = Analyzer(load(name, scale).source).sweep(TABLE3_CONFIGS)
+        counts = {key: r.constants_found for key, r in results.items()}
+        rows.append(
+            Table3Row(
+                program=name,
+                polynomial_no_mod=counts["polynomial_no_mod"],
+                polynomial_with_mod=counts["polynomial_with_mod"],
+                complete=counts["complete"],
+                intraprocedural_only=counts["intraprocedural_only"],
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    header = (
+        f"{'Program':<12} {'Lines':>6} {'Procs':>6} "
+        f"{'Mean lines/proc':>16} {'Median lines/proc':>18}"
+    )
+    lines = [
+        "Table 1: Characteristics of program test suite.",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.program:<12} {row.lines:>6} {row.procedures:>6} "
+            f"{row.mean_lines:>16.1f} {row.median_lines:>18.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    header = (
+        f"{'Program':<12} | {'Poly':>6} {'Pass':>6} {'Intra':>6} {'Lit':>6} "
+        f"| {'PolyNR':>7} {'PassNR':>7}"
+    )
+    lines = [
+        "Table 2: Constants found through use of jump functions.",
+        "(left: with return jump functions; right: without)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.program:<12} | {row.polynomial:>6} {row.pass_through:>6} "
+            f"{row.intraprocedural:>6} {row.literal:>6} "
+            f"| {row.polynomial_no_rjf:>7} {row.pass_through_no_rjf:>7}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[Table3Row]) -> str:
+    header = (
+        f"{'Program':<12} {'Poly w/o MOD':>13} {'Poly w/ MOD':>12} "
+        f"{'Complete':>9} {'Intraproc':>10}"
+    )
+    lines = [
+        "Table 3: Comparison of most precise jump function with other "
+        "propagation techniques.",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.program:<12} {row.polynomial_no_mod:>13} "
+            f"{row.polynomial_with_mod:>12} {row.complete:>9} "
+            f"{row.intraprocedural_only:>10}"
+        )
+    return "\n".join(lines)
+
+
+def figure1_meet_table() -> str:
+    """The meet rules of Figure 1, computed from the implementation."""
+    c1, c2 = 3, 7
+    samples = [("T", TOP), ("ci", c1), ("cj", c2), ("_|_", BOTTOM)]
+    width = 6
+    lines = [
+        "Figure 1: the constant propagation lattice (meet table).",
+        " " * width + "".join(f"{label:>{width}}" for label, _ in samples),
+    ]
+    for row_label, row_value in samples:
+        cells = []
+        for _, col_value in samples:
+            result = meet(row_value, col_value)
+            if result is TOP:
+                cells.append("T")
+            elif result is BOTTOM:
+                cells.append("_|_")
+            else:
+                cells.append(str(result))
+        lines.append(
+            f"{row_label:>{width}}" + "".join(f"{c:>{width}}" for c in cells)
+        )
+    lines.append("")
+    lines.append("depth bound: T -> c -> _|_ (a value lowers at most twice)")
+    return "\n".join(lines)

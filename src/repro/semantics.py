@@ -1,0 +1,146 @@
+"""FORTRAN 77 arithmetic semantics, shared by every evaluator.
+
+The compile-time evaluators (value numbering, SCCP, jump-function
+evaluation) and the reference interpreter must agree *exactly* on integer
+arithmetic, or the differential soundness tests would flag false positives.
+This module is the single source of truth.
+
+Notable FORTRAN rules implemented here:
+
+- integer division truncates toward zero (``(-7)/2 == -3``);
+- ``mod(a, p)`` takes the sign of ``a`` (it is a remainder, not a modulus);
+- ``isign(a, b)`` transfers the sign of ``b`` onto ``|a|``;
+- ``nint`` rounds half away from zero.
+"""
+
+from __future__ import annotations
+
+
+class EvalError(Exception):
+    """Raised for operations with no defined result (e.g. division by 0)."""
+
+
+def int_div(a: int, b: int) -> int:
+    """FORTRAN integer division: truncate toward zero."""
+    if b == 0:
+        raise EvalError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def int_mod(a: int, b: int) -> int:
+    """FORTRAN MOD: remainder with the sign of the first operand."""
+    if b == 0:
+        raise EvalError("MOD with zero divisor")
+    return a - int_div(a, b) * b
+
+
+def int_pow(base: int, exponent: int) -> int:
+    """Integer exponentiation; negative exponents truncate like division."""
+    if exponent >= 0:
+        return base**exponent
+    # FORTRAN defines i**(-n) as 1/i**n with integer division.
+    return int_div(1, base**exponent_abs(exponent))
+
+
+def exponent_abs(exponent: int) -> int:
+    return -exponent
+
+
+def nint(x: float) -> int:
+    """Round half away from zero (FORTRAN NINT)."""
+    if x >= 0:
+        return int(x + 0.5)
+    return -int(-x + 0.5)
+
+
+def isign(a: int, b: int) -> int:
+    """|a| with the sign of b."""
+    magnitude = abs(a)
+    return -magnitude if b < 0 else magnitude
+
+
+def apply_binary(op: str, left, right):
+    """Apply a MiniFortran binary operator to two Python values.
+
+    Integer pairs use FORTRAN integer semantics; any float operand promotes
+    the arithmetic to floats. Comparisons yield bool. Raises
+    :class:`EvalError` on division by zero.
+    """
+    both_int = isinstance(left, int) and isinstance(right, int) and not (
+        isinstance(left, bool) or isinstance(right, bool)
+    )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if both_int:
+            return int_div(left, right)
+        if right == 0:
+            raise EvalError("division by zero")
+        return left / right
+    if op == "**":
+        if both_int:
+            return int_pow(left, right)
+        result = left**right
+        if isinstance(result, complex):
+            raise EvalError("complex result from exponentiation")
+        return result
+    if op == "==":
+        return left == right
+    if op == "/=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == ".and.":
+        return bool(left) and bool(right)
+    if op == ".or.":
+        return bool(left) or bool(right)
+    raise EvalError(f"unknown binary operator {op!r}")
+
+
+def apply_unary(op: str, operand):
+    if op == "-":
+        return -operand
+    if op == "+":
+        return operand
+    if op == ".not.":
+        return not operand
+    raise EvalError(f"unknown unary operator {op!r}")
+
+
+def apply_intrinsic(name: str, args: list):
+    """Apply an intrinsic function to Python values."""
+    if name == "mod":
+        a, b = args
+        if isinstance(a, int) and isinstance(b, int):
+            return int_mod(a, b)
+        if b == 0:
+            raise EvalError("MOD with zero divisor")
+        import math
+
+        return math.fmod(a, b)
+    if name == "max":
+        return max(args)
+    if name == "min":
+        return min(args)
+    if name in ("abs", "iabs"):
+        return abs(args[0])
+    if name == "int":
+        return int(args[0])
+    if name == "real":
+        return float(args[0])
+    if name == "nint":
+        return nint(float(args[0]))
+    if name == "isign":
+        return isign(int(args[0]), int(args[1]))
+    raise EvalError(f"unknown intrinsic {name!r}")

@@ -1,0 +1,29 @@
+"""Synthetic SPEC/PERFECT-style FORTRAN workloads.
+
+The 1993 study ran on 12 scientific FORTRAN programs we cannot
+redistribute. Each program here is generated deterministically from a
+:class:`~repro.workloads.profiles.WorkloadProfile` describing its mix of
+constant-flow idioms — literal arguments, locally computed constants,
+pass-through chains, COMMON constants, ``ocean``-style initialization
+routines, MOD-sensitive calls, dead branches, and value-killing READs —
+tuned so each program reproduces the *shape* of its row in the paper's
+Tables 2 and 3 (see DESIGN.md §2.1 for the substitution argument).
+
+Every generated program parses, analyzes, and *runs* under the reference
+interpreter, which is what lets the differential soundness tests cover the
+whole suite.
+"""
+
+from repro.workloads.generator import GeneratedWorkload, generate
+from repro.workloads.profiles import PROFILES, WorkloadProfile
+from repro.workloads.suite import load, load_suite, suite_names
+
+__all__ = [
+    "GeneratedWorkload",
+    "PROFILES",
+    "WorkloadProfile",
+    "generate",
+    "load",
+    "load_suite",
+    "suite_names",
+]

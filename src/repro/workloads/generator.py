@@ -1,0 +1,512 @@
+"""Deterministic MiniFortran program generator.
+
+Given a :class:`WorkloadProfile`, emit a complete program assembled from
+constant-flow idioms. The generator guarantees three properties the rest
+of the project depends on:
+
+1. **Determinism** — same profile, same program text (seeded RNG only).
+2. **Executability** — every program runs to completion under the
+   reference interpreter (loop bounds are small, every read has an input,
+   nothing reads undefined storage), so the differential soundness oracle
+   covers the entire suite.
+3. **Idiom identity** — each idiom exercises exactly one constant-flow
+   class, so a profile's mix translates directly into the shape of the
+   program's Table 2/3 row.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.workloads.profiles import WorkloadProfile
+
+_CONST_POOL = (3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 16, 17, 19, 21, 24, 25)
+
+
+@dataclass
+class GeneratedWorkload:
+    """A generated program plus everything needed to run it."""
+
+    name: str
+    source: str
+    inputs: list[int] = field(default_factory=list)
+    profile: WorkloadProfile | None = None
+
+    @property
+    def line_count(self) -> int:
+        return sum(
+            1 for line in self.source.splitlines() if line.strip()
+            and not line.strip().startswith("!")
+        )
+
+
+class _Builder:
+    """Accumulates procedures and driver statements."""
+
+    def __init__(self, profile: WorkloadProfile):
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self.procedures: list[str] = []
+        #: driver statements distributed round-robin over phase procedures.
+        self.phase_stmts: list[list[str]] = [[] for _ in range(profile.phases)]
+        self.phase_decls: list[list[str]] = [[] for _ in range(profile.phases)]
+        self.inputs: list[int] = []
+        self._counter = 0
+        self._next_phase = 0
+        self.global_names: list[str] = []
+        self.global_values: dict[str, int] = {}
+        self.init_globals: list[str] = []
+        self.main_globals: list[str] = []
+        self.main_stmts: list[str] = []  # shallow (depth-1) driver calls
+        self._chk_emitted = False
+
+    # -- small helpers ------------------------------------------------------
+
+    def fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"{hint}{self._counter}"
+
+    def const(self) -> int:
+        return self.rng.choice(_CONST_POOL)
+
+    def phase_index(self) -> int:
+        index = self._next_phase
+        self._next_phase = (self._next_phase + 1) % self.profile.phases
+        return index
+
+    def add_stmt(self, phase: int, *stmts: str) -> None:
+        self.phase_stmts[phase].extend(stmts)
+
+    def add_decl(self, phase: int, decl: str) -> None:
+        self.phase_decls[phase].append(decl)
+
+    def common_decl(self) -> list[str]:
+        """COMMON declaration lines naming every global (same everywhere)."""
+        if not self.global_names:
+            return []
+        members = ", ".join(self.global_names)
+        return [
+            f"  common /gdat/ {members}",
+            f"  integer {members}",
+        ]
+
+    def pad_lines(self, acc: str, extra: str) -> list[str]:
+        """Filler computation: deterministic, defined, cheap to run."""
+        lines = []
+        for _ in range(self.profile.pad_statements):
+            op = self.rng.choice(
+                [
+                    f"  {acc} = {acc} * 2 - 1",
+                    f"  {acc} = mod({acc}, 97) + 3",
+                    f"  {acc} = {acc} + {self.const()}",
+                    f"  {extra} = {extra} * 1.5 + 0.25",
+                    f"  {extra} = {extra} / 2.0 + 1.0",
+                ]
+            )
+            lines.append(op)
+        return lines
+
+    # -- procedure templates ----------------------------------------------
+
+    def _ensure_chk(self) -> None:
+        """The shared innocuous helper leaves call before touching their
+        formals; without MOD information this call clobbers everything."""
+        if self._chk_emitted:
+            return
+        self._chk_emitted = True
+        self.procedures.append(
+            "\n".join(
+                [
+                    "subroutine chk(w)",
+                    "  integer w, z",
+                    "  z = w + 1",
+                    "  write z",
+                    "end",
+                ]
+            )
+        )
+
+    def emit_leaf(self, name: str, use_global: str | None = None) -> None:
+        """A kernel that *references* its formal (so constants count) and
+        uses it as a loop bound — the paper's motivating pattern.
+
+        A profile-controlled fraction of kernels make an innocuous helper
+        call before the formal's first use: with MOD information the
+        constant flows past it untouched; without, it dies at the call.
+        """
+        with_call = self.rng.random() < self.profile.leaf_call_fraction
+        decls = [f"subroutine {name}(k)", "  integer k, i, acc", "  real rw"]
+        decls.extend(self.common_decl() if use_global else [])
+        body = ["  acc = 0", "  rw = 1.0"]
+        if with_call:
+            self._ensure_chk()
+            body.append("  call chk(0)")
+        body.extend(
+            [
+                "  do i = 1, k",
+                "    acc = acc + i",
+                "  enddo",
+            ]
+        )
+        body.extend(self.pad_lines("acc", "rw"))
+        if use_global:
+            body.append(f"  acc = acc + {use_global}")
+            body.append(f"  if (acc > {use_global}) then")
+            body.append(f"    acc = acc - {use_global}")
+            body.append("  endif")
+        body.append("  write acc")
+        self.procedures.append("\n".join(decls + body + ["end"]))
+
+    def emit_global_leaf(self, name: str, global_name: str) -> None:
+        """A parameterless kernel driven entirely by one COMMON constant
+        (used as a loop bound). Exactly one substitution pair when the
+        global's value is known; nothing otherwise."""
+        lines = [f"subroutine {name}"]
+        lines.extend(self.common_decl())
+        lines.extend(
+            [
+                "  integer i, acc",
+                "  real rw",
+                "  acc = 0",
+                "  rw = 1.0",
+                f"  do i = 1, {global_name}",
+                "    acc = acc + i",
+                "  enddo",
+            ]
+        )
+        lines.extend(self.pad_lines("acc", "rw"))
+        lines.extend(["  write acc", "end"])
+        self.procedures.append("\n".join(lines))
+
+    def emit_set_use(self, name: str, with_call: bool) -> None:
+        """Set a formal to a constant, then use it — found by every
+        configuration including the intraprocedural baseline. With an
+        intervening call, the constant dies without MOD information."""
+        c1 = self.const()
+        c2 = self.const()
+        lines = [f"subroutine {name}(k)", "  integer k, z", "  real rw"]
+        lines.append(f"  k = {c1}")
+        lines.append("  rw = 0.5")
+        if with_call:
+            self._ensure_chk()
+            lines.append("  call chk(0)")
+        lines.append(f"  z = k + {c2}")
+        lines.extend(self.pad_lines("z", "rw"))
+        lines.extend(["  write z", "end"])
+        self.procedures.append("\n".join(lines))
+
+    def emit_chain(self, first: str, depth: int, leaf_global: str | None = None) -> str:
+        """first(x) -> ... -> leaf(x): pass-through of depth ``depth``."""
+        names = [first] + [self.fresh("ch") for _ in range(depth - 1)]
+        leaf = self.fresh("cleaf")
+        self.emit_leaf(leaf, use_global=leaf_global)
+        for here, nxt in zip(names, names[1:] + [leaf]):
+            self.procedures.append(
+                "\n".join(
+                    [
+                        f"subroutine {here}(x)",
+                        "  integer x",
+                        f"  call {nxt}(x)",
+                        "end",
+                    ]
+                )
+            )
+        return first
+
+    def emit_harmless(self, name: str) -> None:
+        """Reads (never writes) its by-reference argument."""
+        self.procedures.append(
+            "\n".join(
+                [
+                    f"subroutine {name}(w)",
+                    "  integer w, z",
+                    "  z = w + 1",
+                    "  write z",
+                    "end",
+                ]
+            )
+        )
+
+    def emit_local_const_proc(self, name: str) -> None:
+        """Purely local constants — the intraprocedural baseline's food."""
+        c1 = self.const()
+        c2 = self.const()
+        self.procedures.append(
+            "\n".join(
+                [
+                    f"subroutine {name}",
+                    "  integer p, q, r",
+                    f"  p = {c1}",
+                    f"  q = p * {c2}",
+                    "  r = q - p",
+                    "  write r",
+                    "end",
+                ]
+            )
+        )
+
+    def emit_const_function(self, name: str) -> None:
+        self.procedures.append(
+            "\n".join(
+                [
+                    f"integer function {name}(x)",
+                    "  integer x",
+                    f"  {name} = {self.const()}",
+                    "  write x",
+                    "end",
+                ]
+            )
+        )
+
+    def emit_big_kernel(self, name: str) -> None:
+        """One oversized routine (fpppp/simple size skew in Table 1)."""
+        lines = [
+            f"subroutine {name}(n)",
+            "  integer n, i, j, acc",
+            "  real work(20)",
+            "  real rsum",
+            "  acc = 0",
+            "  rsum = 0.0",
+            "  do i = 1, 20",
+            "    work(i) = i * 0.5",
+            "  enddo",
+        ]
+        for block in range(12):
+            lines.extend(
+                [
+                    f"  do i = 1, n",
+                    f"    acc = acc + i * {block + 2}",
+                    f"    do j = 1, 4",
+                    "      rsum = rsum + work(j) * 0.25",
+                    "    enddo",
+                    "  enddo",
+                    f"  acc = mod(acc, {97 + block})",
+                    "  rsum = rsum / 2.0",
+                ]
+            )
+        lines.extend(["  write acc", "  write rsum", "end"])
+        self.procedures.append("\n".join(lines))
+
+
+def generate(profile: WorkloadProfile) -> GeneratedWorkload:
+    """Generate the program for ``profile``."""
+    builder = _Builder(profile)
+    _plan_globals(builder)
+    _emit_idioms(builder)
+    source = _assemble(builder)
+    return GeneratedWorkload(
+        name=profile.name,
+        source=source,
+        inputs=builder.inputs,
+        profile=profile,
+    )
+
+
+def _plan_globals(builder: _Builder) -> None:
+    profile = builder.profile
+    total = profile.global_constants + profile.init_routine_globals
+    for index in range(total):
+        name = f"gv{index + 1}"
+        builder.global_names.append(name)
+        builder.global_values[name] = builder.const() * 10 + index
+        if index < profile.global_constants:
+            builder.main_globals.append(name)
+        else:
+            builder.init_globals.append(name)
+
+
+def _emit_idioms(builder: _Builder) -> None:
+    profile = builder.profile
+
+    # 1. literal arguments: every jump function finds these.
+    for _ in range(profile.literal_args):
+        leaf = builder.fresh("lf")
+        builder.emit_leaf(leaf)
+        phase = builder.phase_index()
+        builder.add_stmt(phase, f"  call {leaf}({builder.const()})")
+
+    # 2. locally computed constant arguments: literal JF misses these.
+    for _ in range(profile.intra_args):
+        leaf = builder.fresh("ilf")
+        builder.emit_leaf(leaf)
+        phase = builder.phase_index()
+        var = builder.fresh("iv")
+        builder.add_decl(phase, f"  integer {var}")
+        builder.add_stmt(
+            phase,
+            f"  {var} = {builder.const()} + {builder.const()}",
+            f"  call {leaf}({var})",
+        )
+
+    # 3. pass-through chains: depth >= 2, only pass-through/polynomial.
+    for _ in range(profile.passthrough_chains):
+        first = builder.fresh("pt")
+        use_global = None
+        if builder.global_names and builder.rng.random() < 0.5:
+            use_global = builder.rng.choice(builder.global_names)
+        builder.emit_chain(first, profile.chain_depth, leaf_global=use_global)
+        phase = builder.phase_index()
+        builder.add_stmt(phase, f"  call {first}({builder.const()})")
+
+    # 4. globals referenced in leaves (constants passed implicitly).
+    global_leaf_targets = list(builder.global_names)
+    for _ in range(profile.extra_global_leaves):
+        if builder.global_names:
+            global_leaf_targets.append(builder.rng.choice(builder.global_names))
+    for name in global_leaf_targets:
+        leaf = builder.fresh("glf")
+        builder.emit_global_leaf(leaf, name)
+        if profile.shallow_globals:
+            builder.main_stmts.append(f"  call {leaf}")
+        else:
+            phase = builder.phase_index()
+            builder.add_stmt(phase, f"  call {leaf}")
+
+    # 4b. set-use kernels: constants every configuration can substitute;
+    # the with-call variant dies without MOD information.
+    for index in range(profile.set_use + profile.set_use_calls):
+        proc = builder.fresh("su")
+        builder.emit_set_use(proc, with_call=index < profile.set_use_calls)
+        phase = builder.phase_index()
+        builder.add_stmt(phase, f"  call {proc}(0)")
+
+    # 5. MOD-sensitive constants: two flavours (global clobber / arg read).
+    for index in range(profile.mod_sensitive):
+        harmless = builder.fresh("hm")
+        builder.emit_harmless(harmless)
+        leaf = builder.fresh("mlf")
+        builder.emit_leaf(leaf)
+        phase = builder.phase_index()
+        var = builder.fresh("mv")
+        builder.add_decl(phase, f"  integer {var}")
+        constant = builder.const()
+        if index % 2 == 0 or not builder.global_names:
+            # pass the constant to the harmless call itself
+            builder.add_stmt(
+                phase,
+                f"  {var} = {constant}",
+                f"  call {harmless}({var})",
+                f"  call {leaf}({var})",
+            )
+        else:
+            # a harmless call stands between a global's def and its use
+            builder.add_stmt(
+                phase,
+                f"  {var} = 1",
+                f"  call {harmless}({var})",
+                f"  call {leaf}({builder.rng.choice(builder.global_names)})",
+            )
+
+    # 6. dead-branch constants: complete propagation wins these.
+    for _ in range(profile.dead_branch_constants):
+        leaf = builder.fresh("dlf")
+        builder.emit_leaf(leaf)
+        phase = builder.phase_index()
+        flag = builder.fresh("fl")
+        builder.add_decl(phase, f"  integer {flag}")
+        dead_const = builder.const()
+        live_const = builder.const() + 30  # distinct from the dead one
+        builder.add_stmt(
+            phase,
+            f"  {flag} = 0",
+            f"  if ({flag} /= 0) then",
+            f"    call {leaf}({dead_const})",
+            "  endif",
+            f"  call {leaf}({live_const})",
+            # keep the flag live so dead-store elimination does not erase
+            # its own (constant) reference when the branch folds
+            f"  write {flag}",
+        )
+
+    # 7. purely local constants.
+    for _ in range(profile.local_constants):
+        proc = builder.fresh("loc")
+        builder.emit_local_const_proc(proc)
+        phase = builder.phase_index()
+        builder.add_stmt(phase, f"  call {proc}")
+
+    # 8. values read at run time: never constants.
+    for _ in range(profile.read_kills):
+        leaf = builder.fresh("rlf")
+        builder.emit_leaf(leaf)
+        phase = builder.phase_index()
+        var = builder.fresh("rv")
+        builder.add_decl(phase, f"  integer {var}")
+        builder.inputs.append(builder.const())
+        builder.add_stmt(phase, f"  read {var}", f"  call {leaf}({var})")
+
+    # 9. conflicting constants at different sites: meet to ⊥.
+    for _ in range(profile.conflicting_sites):
+        leaf = builder.fresh("cf")
+        builder.emit_leaf(leaf)
+        first = builder.phase_index()
+        second = builder.phase_index()
+        builder.add_stmt(first, f"  call {leaf}({builder.const()})")
+        builder.add_stmt(second, f"  call {leaf}({builder.const() + 50})")
+
+    # 10. constant-returning functions (RESULT return jump functions).
+    for _ in range(profile.function_results):
+        function = builder.fresh("fc")
+        builder.emit_const_function(function)
+        leaf = builder.fresh("flf")
+        builder.emit_leaf(leaf)
+        phase = builder.phase_index()
+        var = builder.fresh("fv")
+        builder.add_decl(phase, f"  integer {var}")
+        builder.add_stmt(
+            phase, f"  {var} = {function}(1)", f"  call {leaf}({var})"
+        )
+
+    # 11. the size skew of fpppp/simple.
+    if profile.skewed:
+        kernel = builder.fresh("bigk")
+        builder.emit_big_kernel(kernel)
+        phase = builder.phase_index()
+        builder.add_stmt(phase, f"  call {kernel}(6)")
+
+
+def _assemble(builder: _Builder) -> str:
+    profile = builder.profile
+    units: list[str] = []
+
+    # init routine (ocean-style): assigns its globals constants.
+    if builder.init_globals:
+        lines = ["subroutine init"]
+        lines.extend(builder.common_decl())
+        for name in builder.init_globals:
+            lines.append(f"  {name} = {builder.global_values[name]}")
+        lines.append("end")
+        units.append("\n".join(lines))
+
+    # phase procedures.
+    phase_names = []
+    for index in range(profile.phases):
+        name = f"phase{index + 1}"
+        phase_names.append(name)
+        lines = [f"subroutine {name}"]
+        lines.extend(builder.common_decl())
+        lines.extend(builder.phase_decls[index])
+        stmts = builder.phase_stmts[index] or ["  write 0"]
+        lines.extend(stmts)
+        lines.append("end")
+        units.append("\n".join(lines))
+
+    # main program.
+    main_lines = [f"program {profile.name}"]
+    main_lines.extend(builder.common_decl())
+    for name in builder.main_globals:
+        main_lines.append(f"  {name} = {builder.global_values[name]}")
+    if builder.init_globals:
+        main_lines.append("  call init")
+    main_lines.extend(builder.main_stmts)
+    for name in phase_names:
+        main_lines.append(f"  call {name}")
+    main_lines.append("end")
+
+    units.extend(builder.procedures)
+    header = (
+        f"! {profile.name}: synthetic workload (seed {profile.seed})\n"
+        "! generated by repro.workloads — idiom mix documented in profiles.py\n"
+    )
+    return header + "\n\n".join(["\n".join(main_lines)] + units) + "\n"

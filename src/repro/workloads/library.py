@@ -1,0 +1,217 @@
+"""A hand-written BLAS-style MiniFortran library.
+
+Shen, Li, and Yew ran their subscript study on FORTRAN *library* routines
+(paper §1): code written against symbolic leading dimensions and strides
+(`lda`, `incx`, ...) that become constants only once call sites are known.
+Linearized indexing like ``a(lda * (j - 1) + i)`` is nonlinear to a
+dependence analyzer until ``lda`` is a compile-time constant — exactly
+what interprocedural constant propagation supplies.
+
+This module is that study's substrate: a small dense-linear-algebra
+library (copy/scale/axpy/dot/matvec/matmul/transpose/band solver) whose
+driver fixes every dimension, so roughly half the subscripts flip from
+nonlinear to linear when the CONSTANTS sets are applied. The program is
+ordinary MiniFortran: it parses, analyzes, and runs under the reference
+interpreter like everything else.
+"""
+
+LIBRARY_SOURCE = """
+program bench
+  integer lda, n, m, rstride, rwidth
+  lda = 8
+  n = 8
+  m = 6
+  ! runtime-dependent parameters: no analysis can recover these, so the
+  ! routines they feed keep their nonlinear subscripts (the ~half that
+  ! stayed nonlinear in the Shen-Li-Yew study)
+  read rstride, rwidth
+  call fill(lda, n)
+  call vcopy(n, 1, 2)
+  call vscale(n, 3)
+  call vaxpy(n, 2)
+  call matvec(lda, n, m)
+  call matmul2(lda, n)
+  call transp(lda, n)
+  call bandfw(lda, n, 2)
+  call vgather(n, rstride)
+  call submat(lda, rwidth, n)
+  call interleave(n, rstride, rwidth)
+  call checks(n)
+end
+
+! dense fill: a(lda*(j-1)+i) — linear only when lda is known
+subroutine fill(lda, n)
+  integer lda, n, i, j
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  do j = 1, n
+    do i = 1, lda
+      a(lda * (j - 1) + i) = i * 1.0 + j
+      b(lda * (j - 1) + i) = j * 0.5
+      c(lda * (j - 1) + i) = 0.0
+    enddo
+  enddo
+  do i = 1, n
+    x(i) = i * 1.0
+    y(i) = 0.0
+    z(i) = 1.0
+  enddo
+end
+
+! strided vector copy: y(incy*i) = x(incx*i) — the incx/incy idiom
+subroutine vcopy(n, incx, incy)
+  integer n, incx, incy, i, half
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  half = n / incy
+  do i = 1, half
+    y(incy * i - 1) = x(incx * (i - 1) + 1)
+  enddo
+end
+
+subroutine vscale(n, factor)
+  integer n, factor, i
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  do i = 1, n
+    x(i) = x(i) * factor
+  enddo
+end
+
+subroutine vaxpy(n, alpha)
+  integer n, alpha, i
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  enddo
+end
+
+! matrix-vector product over the linearized matrix
+subroutine matvec(lda, n, m)
+  integer lda, n, m, i, j
+  real rsum
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  do i = 1, m
+    rsum = 0.0
+    do j = 1, n
+      rsum = rsum + a(lda * (j - 1) + i) * x(j)
+    enddo
+    z(i) = rsum
+  enddo
+end
+
+! c = a * b, all linearized with leading dimension lda
+subroutine matmul2(lda, n)
+  integer lda, n, i, j, k
+  real rsum
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  do j = 1, n
+    do i = 1, n
+      rsum = 0.0
+      do k = 1, n
+        rsum = rsum + a(lda * (k - 1) + i) * b(lda * (j - 1) + k)
+      enddo
+      c(lda * (j - 1) + i) = rsum
+    enddo
+  enddo
+end
+
+! in-place transpose of the upper triangle
+subroutine transp(lda, n)
+  integer lda, n, i, j
+  real tmp
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  do j = 2, n
+    do i = 1, j - 1
+      tmp = a(lda * (j - 1) + i)
+      a(lda * (j - 1) + i) = a(lda * (i - 1) + j)
+      a(lda * (i - 1) + j) = tmp
+    enddo
+  enddo
+end
+
+! banded forward elimination: bandwidth kb is a call-site constant
+subroutine bandfw(lda, n, kb)
+  integer lda, n, kb, i, j
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  do i = 2, n
+    do j = 1, kb
+      if (i - j >= 1) then
+        z(i) = z(i) - a(lda * (i - j - 1) + i) * z(i - j) / 8.0
+      endif
+    enddo
+  enddo
+end
+
+! strided gather: the stride is read at run time — forever nonlinear
+subroutine vgather(n, stride)
+  integer n, stride, i, lim
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  lim = n / stride
+  do i = 1, lim
+    y(i) = a(stride * (i - 1) + 1)
+    z(i) = b(stride * i)
+  enddo
+end
+
+! leading-dimension submatrix walk with a runtime width
+subroutine submat(lda, width, n)
+  integer lda, width, n, i, j, lim
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  lim = n / width
+  do j = 1, lim
+    do i = 1, width
+      c(width * (j - 1) + i) = a(lda * (j - 1) + i) + b(width * (j - 1) + i)
+    enddo
+  enddo
+end
+
+! two runtime strides at once: every subscript here stays nonlinear
+subroutine interleave(n, s1, s2)
+  integer n, s1, s2, i, lim
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  lim = n / max(s1, s2)
+  do i = 1, lim
+    c(s1 * (i - 1) + 1) = a(s2 * (i - 1) + 1)
+    c(s2 * i) = b(s1 * i)
+    z(i) = a(s1 * i) + b(s2 * i)
+  enddo
+end
+
+subroutine checks(n)
+  integer n, i
+  real total
+  common /mem/ a, b, c, x, y, z
+  real a(64), b(64), c(64)
+  real x(8), y(8), z(8)
+  total = 0.0
+  do i = 1, n
+    total = total + y(i) + z(i)
+  enddo
+  write total
+end
+"""
+
+
+def library_program() -> str:
+    """The library + driver as one compilation unit."""
+    return LIBRARY_SOURCE

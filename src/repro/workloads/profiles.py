@@ -1,0 +1,212 @@
+"""Per-program workload profiles.
+
+One profile per program of the paper's test suite (Table 1). The idiom
+counts are calibrated so each program reproduces the qualitative shape of
+its row in Tables 2 and 3:
+
+===========  ================================================================
+adm          insensitive to the jump-function choice (constants are literal
+             arguments), strongly MOD-sensitive, intraprocedural baseline
+             close behind (many local constants).
+doduc        literal arguments dominate; almost no local constants, so the
+             intraprocedural baseline nearly vanishes; a couple of
+             return-jump-function wins.
+fpppp        mixed; one very large routine skews the size distribution.
+linpackd     literal gap: many constants are computed or global, so the
+             literal jump function loses badly; MOD essential.
+matrix300    like linpackd with a visible intraprocedural/pass-through gap
+             (constants flow through procedure bodies).
+mdg          small; a single return-jump-function win; mild literal gap.
+ocean        the return-jump-function showcase: an initialization routine
+             assigns dozens of COMMON constants; without return jump
+             functions most of the program's constants disappear; complete
+             propagation exposes a few more (dead initialization branches).
+qcd          almost everything is a literal argument; tiny MOD gap.
+simple       extremely MOD-sensitive (calls everywhere); one huge routine.
+snasa7       literal gap only; otherwise stable across configurations.
+spec77       broad mix incl. dead-branch constants (complete propagation
+             gains) and a wide literal gap.
+trfd         tiny program, few constants, mild MOD gap.
+===========  ================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Idiom mix and shape targets for one generated program."""
+
+    name: str
+    seed: int
+    #: Table 1 shape targets.
+    phases: int = 4  # driver procedures under main
+    pad_statements: int = 3  # filler computation lines per leaf body
+
+    #: constants visible to every jump function (literal actual at a site).
+    literal_args: int = 6
+    #: constants computed into a local before the call (literal JF misses).
+    intra_args: int = 2
+    #: formal passed through d>=2 procedure bodies (pass-through+ only).
+    passthrough_chains: int = 2
+    chain_depth: int = 3
+    #: COMMON members assigned constants directly in the main program.
+    global_constants: int = 2
+    #: COMMON members assigned constants inside an init routine (needs RJFs).
+    init_routine_globals: int = 0
+    #: constants that survive an intervening harmless call iff MOD is used.
+    mod_sensitive: int = 2
+    #: constants exposed only after dead-branch elimination (complete mode).
+    dead_branch_constants: int = 0
+    #: purely local constants (count for the intraprocedural baseline too).
+    local_constants: int = 3
+    #: values read from input and passed around (never constants).
+    read_kills: int = 1
+    #: call sites feeding one callee conflicting constants (meet to ⊥).
+    conflicting_sites: int = 1
+    #: one oversized routine, like fpppp/simple in Table 1.
+    skewed: bool = False
+    #: function-result constants (exercise the RESULT return jump function).
+    function_results: int = 1
+    #: kernels that set a formal to a constant and use it: counted by every
+    #: configuration, including the intraprocedural baseline.
+    set_use: int = 0
+    #: set-use kernels with an intervening call: the constant dies without
+    #: MOD information (but survives in the MOD-aware baseline).
+    set_use_calls: int = 0
+    #: fraction of kernels whose formal is used only after an innocuous
+    #: internal call — these constants die without MOD information.
+    leaf_call_fraction: float = 0.0
+    #: extra kernels referencing a random COMMON constant (beyond the one
+    #: kernel per global the generator always emits).
+    extra_global_leaves: int = 0
+    #: call global-referencing kernels from the main program directly
+    #: (depth 1), so even the intraprocedural jump function sees them.
+    shallow_globals: bool = False
+
+    def scaled(self, factor: float) -> "WorkloadProfile":
+        """A smaller/larger variant with the same shape (for fast tests)."""
+
+        def scale(n: int) -> int:
+            if n == 0:
+                return 0
+            return max(1, round(n * factor))
+
+        return WorkloadProfile(
+            name=self.name,
+            seed=self.seed,
+            phases=max(1, round(self.phases * factor)),
+            pad_statements=self.pad_statements,
+            literal_args=scale(self.literal_args),
+            intra_args=scale(self.intra_args),
+            passthrough_chains=scale(self.passthrough_chains),
+            chain_depth=self.chain_depth,
+            global_constants=scale(self.global_constants),
+            init_routine_globals=scale(self.init_routine_globals),
+            mod_sensitive=scale(self.mod_sensitive),
+            dead_branch_constants=scale(self.dead_branch_constants),
+            local_constants=scale(self.local_constants),
+            read_kills=scale(self.read_kills),
+            conflicting_sites=scale(self.conflicting_sites),
+            skewed=self.skewed,
+            function_results=scale(self.function_results),
+            set_use=scale(self.set_use),
+            set_use_calls=scale(self.set_use_calls),
+            leaf_call_fraction=self.leaf_call_fraction,
+            extra_global_leaves=scale(self.extra_global_leaves),
+            shallow_globals=self.shallow_globals,
+        )
+
+
+PROFILES: dict[str, WorkloadProfile] = {
+    "adm": WorkloadProfile(
+        name="adm", seed=101, phases=8, pad_statements=5,
+        literal_args=6, intra_args=0, passthrough_chains=0,
+        global_constants=0, mod_sensitive=0, local_constants=4,
+        set_use=4, set_use_calls=38, read_kills=2, conflicting_sites=2,
+        function_results=0,
+    ),
+    "doduc": WorkloadProfile(
+        name="doduc", seed=102, phases=7, pad_statements=6,
+        literal_args=52, intra_args=0, passthrough_chains=0,
+        global_constants=0, mod_sensitive=0, local_constants=1,
+        read_kills=2, conflicting_sites=3, function_results=2,
+    ),
+    "fpppp": WorkloadProfile(
+        name="fpppp", seed=103, phases=4, pad_statements=5,
+        literal_args=6, intra_args=2, passthrough_chains=1,
+        global_constants=2, init_routine_globals=2, mod_sensitive=2,
+        local_constants=2, set_use=6, set_use_calls=6,
+        read_kills=1, conflicting_sites=1, skewed=True,
+        leaf_call_fraction=0.4,
+    ),
+    "linpackd": WorkloadProfile(
+        name="linpackd", seed=104, phases=5, pad_statements=4,
+        literal_args=6, intra_args=10, passthrough_chains=0,
+        global_constants=10, extra_global_leaves=6, shallow_globals=True,
+        mod_sensitive=8, local_constants=2, set_use=0, set_use_calls=14,
+        read_kills=2, conflicting_sites=1, leaf_call_fraction=1.0,
+    ),
+    "matrix300": WorkloadProfile(
+        name="matrix300", seed=105, phases=4, pad_statements=3,
+        literal_args=6, intra_args=4, passthrough_chains=3,
+        chain_depth=3, global_constants=6, extra_global_leaves=2,
+        mod_sensitive=6, local_constants=2, set_use=4, set_use_calls=10,
+        read_kills=1, conflicting_sites=1, leaf_call_fraction=0.9,
+    ),
+    "mdg": WorkloadProfile(
+        name="mdg", seed=106, phases=3, pad_statements=3,
+        literal_args=5, intra_args=2, passthrough_chains=0,
+        global_constants=1, init_routine_globals=1, mod_sensitive=2,
+        local_constants=1, set_use=6, set_use_calls=2,
+        read_kills=1, conflicting_sites=1, leaf_call_fraction=0.15,
+        shallow_globals=True,
+    ),
+    "ocean": WorkloadProfile(
+        name="ocean", seed=107, phases=6, pad_statements=4,
+        literal_args=4, intra_args=2, passthrough_chains=0,
+        global_constants=0, init_routine_globals=16,
+        extra_global_leaves=60, shallow_globals=True,
+        mod_sensitive=4, dead_branch_constants=4, local_constants=2,
+        set_use=2, set_use_calls=6, read_kills=2, conflicting_sites=1,
+        leaf_call_fraction=0.5,
+    ),
+    "qcd": WorkloadProfile(
+        name="qcd", seed=108, phases=6, pad_statements=4,
+        literal_args=4, intra_args=0, passthrough_chains=0,
+        global_constants=0, mod_sensitive=0, local_constants=10,
+        set_use=36, set_use_calls=3, read_kills=2, conflicting_sites=2,
+        function_results=1,
+    ),
+    "simple": WorkloadProfile(
+        name="simple", seed=109, phases=2, pad_statements=6,
+        literal_args=1, intra_args=0, passthrough_chains=0,
+        global_constants=0, mod_sensitive=0, local_constants=0,
+        set_use=0, set_use_calls=34, read_kills=1, conflicting_sites=1,
+        skewed=True, leaf_call_fraction=1.0, function_results=0,
+    ),
+    "snasa7": WorkloadProfile(
+        name="snasa7", seed=110, phases=5, pad_statements=4,
+        literal_args=8, intra_args=8, passthrough_chains=0,
+        global_constants=6, shallow_globals=True, mod_sensitive=2,
+        local_constants=4, set_use=24, set_use_calls=2,
+        read_kills=1, conflicting_sites=2, leaf_call_fraction=0.1,
+    ),
+    "spec77": WorkloadProfile(
+        name="spec77", seed=111, phases=8, pad_statements=4,
+        literal_args=8, intra_args=6, passthrough_chains=0,
+        global_constants=6, shallow_globals=True, mod_sensitive=6,
+        dead_branch_constants=4, local_constants=4,
+        set_use=4, set_use_calls=14, read_kills=3, conflicting_sites=2,
+        leaf_call_fraction=0.6,
+    ),
+    "trfd": WorkloadProfile(
+        name="trfd", seed=112, phases=2, pad_statements=4,
+        literal_args=1, intra_args=0, passthrough_chains=0,
+        global_constants=0, mod_sensitive=0,
+        local_constants=1, set_use=5, set_use_calls=5,
+        read_kills=1, conflicting_sites=1, function_results=0,
+    ),
+}

@@ -1,0 +1,32 @@
+"""The generated test suite, cached.
+
+``load_suite()`` materializes all 12 programs (≈ the paper's Table 1
+suite); ``load(name, scale=...)`` fetches one, optionally scaled down for
+fast tests. Results are memoized per (name, scale).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads.generator import GeneratedWorkload, generate
+from repro.workloads.profiles import PROFILES
+
+
+def suite_names() -> list[str]:
+    """Program names in the paper's (alphabetical) table order."""
+    return list(PROFILES)
+
+
+@lru_cache(maxsize=None)
+def load(name: str, scale: float = 1.0) -> GeneratedWorkload:
+    """Generate (or fetch the cached) workload ``name``."""
+    profile = PROFILES[name]
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    return generate(profile)
+
+
+def load_suite(scale: float = 1.0) -> dict[str, GeneratedWorkload]:
+    """All programs, in table order."""
+    return {name: load(name, scale) for name in suite_names()}

@@ -1,0 +1,133 @@
+"""Unit tests for dominators and dominance frontiers."""
+
+from repro.analysis.dominance import compute_dominators, iterated_frontier
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instructions import CJump, Jump, Return, bool_const
+
+
+def linear_cfg(n):
+    """B0 -> B1 -> ... -> B(n-1) -> return."""
+    cfg = ControlFlowGraph()
+    blocks = [cfg.new_block() for _ in range(n)]
+    cfg.entry_id = blocks[0].id
+    cfg.exit_id = blocks[-1].id
+    for a, b in zip(blocks, blocks[1:]):
+        a.append(Jump(b.id))
+    blocks[-1].append(Return())
+    cfg.refresh()
+    return cfg, blocks
+
+
+def diamond_cfg():
+    cfg = ControlFlowGraph()
+    entry, left, right, join = (cfg.new_block() for _ in range(4))
+    cfg.entry_id = entry.id
+    cfg.exit_id = join.id
+    entry.append(CJump(cond=bool_const(True), if_true=left.id, if_false=right.id))
+    left.append(Jump(join.id))
+    right.append(Jump(join.id))
+    join.append(Return())
+    cfg.refresh()
+    return cfg, entry, left, right, join
+
+
+def loop_cfg():
+    """entry -> header <-> body; header -> exit."""
+    cfg = ControlFlowGraph()
+    entry, header, body, exit_b = (cfg.new_block() for _ in range(4))
+    cfg.entry_id = entry.id
+    cfg.exit_id = exit_b.id
+    entry.append(Jump(header.id))
+    header.append(CJump(cond=bool_const(True), if_true=body.id, if_false=exit_b.id))
+    body.append(Jump(header.id))
+    exit_b.append(Return())
+    cfg.refresh()
+    return cfg, entry, header, body, exit_b
+
+
+class TestImmediateDominators:
+    def test_linear_chain(self):
+        cfg, blocks = linear_cfg(4)
+        tree = compute_dominators(cfg)
+        for prev, block in zip(blocks, blocks[1:]):
+            assert tree.idom[block.id] == prev.id
+
+    def test_entry_self_dominates(self):
+        cfg, blocks = linear_cfg(2)
+        tree = compute_dominators(cfg)
+        assert tree.idom[cfg.entry_id] == cfg.entry_id
+
+    def test_diamond_join_dominated_by_entry(self):
+        cfg, entry, left, right, join = diamond_cfg()
+        tree = compute_dominators(cfg)
+        assert tree.idom[join.id] == entry.id
+        assert tree.idom[left.id] == entry.id
+        assert tree.idom[right.id] == entry.id
+
+    def test_loop_header_dominates_body(self):
+        cfg, entry, header, body, exit_b = loop_cfg()
+        tree = compute_dominators(cfg)
+        assert tree.idom[body.id] == header.id
+        assert tree.idom[exit_b.id] == header.id
+
+    def test_dominates_relation(self):
+        cfg, entry, left, right, join = diamond_cfg()
+        tree = compute_dominators(cfg)
+        assert tree.dominates(entry.id, join.id)
+        assert tree.dominates(join.id, join.id)
+        assert not tree.dominates(left.id, join.id)
+        assert tree.strictly_dominates(entry.id, left.id)
+        assert not tree.strictly_dominates(left.id, left.id)
+
+    def test_children_partition(self):
+        cfg, entry, left, right, join = diamond_cfg()
+        tree = compute_dominators(cfg)
+        assert sorted(tree.children[entry.id]) == sorted(
+            [left.id, right.id, join.id]
+        )
+
+    def test_preorder_parents_first(self):
+        cfg, entry, header, body, exit_b = loop_cfg()
+        tree = compute_dominators(cfg)
+        order = tree.preorder()
+        assert order.index(entry.id) < order.index(header.id)
+        assert order.index(header.id) < order.index(body.id)
+
+
+class TestDominanceFrontiers:
+    def test_diamond_frontier(self):
+        cfg, entry, left, right, join = diamond_cfg()
+        tree = compute_dominators(cfg)
+        assert tree.frontier[left.id] == {join.id}
+        assert tree.frontier[right.id] == {join.id}
+        assert tree.frontier[entry.id] == set()
+
+    def test_loop_frontier_contains_header(self):
+        cfg, entry, header, body, exit_b = loop_cfg()
+        tree = compute_dominators(cfg)
+        assert header.id in tree.frontier[body.id]
+        # the header is in its own frontier (it is a loop header)
+        assert header.id in tree.frontier[header.id]
+
+    def test_iterated_frontier_diamond(self):
+        cfg, entry, left, right, join = diamond_cfg()
+        tree = compute_dominators(cfg)
+        assert iterated_frontier(tree, {left.id}) == {join.id}
+        assert iterated_frontier(tree, {entry.id}) == set()
+
+    def test_iterated_frontier_transitive(self):
+        # Two nested diamonds: a def in the inner arm needs phis at both joins.
+        cfg = ControlFlowGraph()
+        b = [cfg.new_block() for _ in range(7)]
+        cfg.entry_id = b[0].id
+        cfg.exit_id = b[6].id
+        b[0].append(CJump(cond=bool_const(True), if_true=b[1].id, if_false=b[5].id))
+        b[1].append(CJump(cond=bool_const(True), if_true=b[2].id, if_false=b[3].id))
+        b[2].append(Jump(b[4].id))
+        b[3].append(Jump(b[4].id))
+        b[4].append(Jump(b[6].id))
+        b[5].append(Jump(b[6].id))
+        b[6].append(Return())
+        cfg.refresh()
+        tree = compute_dominators(cfg)
+        assert iterated_frontier(tree, {b[2].id}) == {b[4].id, b[6].id}

@@ -1,0 +1,125 @@
+"""The binding-graph solver must agree exactly with the worklist solver."""
+
+import pytest
+
+from repro.analysis.ssa import ensure_global_symbols
+from repro.callgraph import build_call_graph, compute_modref
+from repro.core.binding_solver import solve_binding_graph
+from repro.core.builder import build_forward_jump_functions
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.returns import build_return_jump_functions
+from repro.core.solver import solve
+from repro.frontend import parse_program
+from repro.ir import lower_program
+from repro.workloads import load, suite_names
+
+
+def both_solvers(source, config=None):
+    config = config or AnalysisConfig()
+    program = parse_program(source)
+    lowered = lower_program(program)
+    ensure_global_symbols(lowered)
+    graph = build_call_graph(lowered)
+    modref = compute_modref(lowered, graph)
+    returns = build_return_jump_functions(lowered, graph, modref, config)
+    forward = build_forward_jump_functions(lowered, modref, returns, config)
+    return (
+        solve(lowered, graph, forward),
+        solve_binding_graph(lowered, graph, forward),
+    )
+
+
+def assert_same_val(a, b):
+    assert a.reached == b.reached
+    assert set(a.val) == set(b.val)
+    for proc in a.val:
+        assert a.val[proc] == b.val[proc], proc
+
+
+SIMPLE = """
+program main
+  integer n
+  common /c/ g
+  integer g
+  g = 100
+  n = 10
+  call work(n)
+  call work(n)
+  call other(n + 1)
+end
+subroutine work(k)
+  integer k
+  common /c/ lim
+  integer lim
+  write k + lim
+end
+subroutine other(j)
+  integer j
+  call work(j)
+end
+"""
+
+
+class TestAgreement:
+    def test_simple_program(self):
+        assert_same_val(*both_solvers(SIMPLE))
+
+    def test_conflicting_sites(self):
+        source = """
+program main
+  call s(1)
+  call s(2)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+"""
+        worklist, binding = both_solvers(source)
+        assert_same_val(worklist, binding)
+        from repro.core.lattice import BOTTOM
+
+        assert binding.val["s"]["a"] is BOTTOM
+
+    def test_unreached_procedure_stays_top(self):
+        source = SIMPLE + "\nsubroutine orphan(z)\ninteger z\nwrite z\nend\n"
+        worklist, binding = both_solvers(source)
+        assert_same_val(worklist, binding)
+        from repro.core.lattice import TOP
+
+        assert binding.val["orphan"]["z"] is TOP
+
+    def test_recursion(self):
+        source = """
+program main
+  call rec(5, 1)
+end
+subroutine rec(n, fixed)
+  integer n, fixed
+  if (n > 0) then
+    call rec(n - 1, fixed)
+  endif
+  write fixed
+end
+"""
+        worklist, binding = both_solvers(source)
+        assert_same_val(worklist, binding)
+        assert binding.val["rec"]["fixed"] == 1
+
+    @pytest.mark.parametrize(
+        "kind",
+        [JumpFunctionKind.LITERAL, JumpFunctionKind.PASS_THROUGH,
+         JumpFunctionKind.POLYNOMIAL],
+    )
+    def test_agreement_per_jump_function(self, kind):
+        config = AnalysisConfig(jump_function=kind)
+        assert_same_val(*both_solvers(SIMPLE, config))
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_agreement_on_suite(self, name):
+        workload = load(name, scale=0.3)
+        assert_same_val(*both_solvers(workload.source))
+
+    def test_agreement_without_mod(self):
+        config = AnalysisConfig(use_mod=False)
+        assert_same_val(*both_solvers(load("mdg", scale=0.5).source, config))

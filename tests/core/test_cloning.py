@@ -1,0 +1,130 @@
+"""Tests for goal-directed procedure cloning (§5 extension)."""
+
+import pytest
+
+from repro import AnalysisConfig, JumpFunctionKind
+from repro.core.cloning import (
+    apply_clones,
+    clone_and_reanalyze,
+    plan_clone_groups,
+)
+from repro.interp import run_program
+from repro.workloads import load, suite_names
+
+CONFLICT = """
+program main
+  call kernel(8)
+  call kernel(16)
+  call kernel(16)
+  call other(3)
+end
+subroutine kernel(n)
+  integer n, i, acc
+  acc = 0
+  do i = 1, n
+    acc = acc + i
+  enddo
+  write acc
+end
+subroutine other(j)
+  integer j
+  write j
+end
+"""
+
+
+class TestPlanning:
+    def test_conflicting_sites_grouped(self):
+        report = clone_and_reanalyze(CONFLICT)
+        kernel_groups = [g for g in report.groups if g.callee == "kernel"]
+        assert len(kernel_groups) == 2
+        vectors = {g.vector for g in kernel_groups}
+        assert vectors == {(("n", 8),), (("n", 16),)}
+
+    def test_single_site_procedure_not_cloned(self):
+        report = clone_and_reanalyze(CONFLICT)
+        assert all(g.callee != "other" for g in report.groups)
+
+    def test_agreeing_sites_not_cloned(self):
+        source = """
+program main
+  call s(5)
+  call s(5)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+"""
+        report = clone_and_reanalyze(source)
+        assert report.clones_created == 0
+        assert report.cloned is None
+
+    def test_clone_budget_respected(self):
+        source = "program main\n" + "\n".join(
+            f"  call s({c})" for c in (1, 2, 3, 4, 5, 6)
+        ) + "\nend\nsubroutine s(a)\ninteger a\nwrite a\nend\n"
+        report = clone_and_reanalyze(source, max_clones_per_procedure=2)
+        assert report.clones_created == 2
+
+    def test_main_never_cloned(self):
+        report = clone_and_reanalyze(CONFLICT)
+        assert all(g.callee != "main" for g in report.groups)
+
+
+class TestTransformation:
+    def test_recovers_conflicting_constants(self):
+        report = clone_and_reanalyze(CONFLICT)
+        assert report.constants_recovered >= 2
+        assert report.cloned.constants("kernel")["n"] == 8
+        assert report.cloned.constants("kernel_c1")["n"] == 16
+
+    def test_transformed_source_parses(self):
+        from repro.frontend import parse_program
+
+        report = clone_and_reanalyze(CONFLICT)
+        program = parse_program(report.transformed_source)
+        assert "kernel_c1" in program.procedures
+
+    def test_semantics_preserved(self):
+        report = clone_and_reanalyze(CONFLICT)
+        original_trace = run_program(CONFLICT)
+        cloned_trace = run_program(report.transformed_source)
+        assert original_trace.outputs == cloned_trace.outputs
+
+    def test_code_growth_reported(self):
+        report = clone_and_reanalyze(CONFLICT)
+        assert report.code_growth > 1.0
+
+    def test_apply_clones_idempotent_without_groups(self):
+        from repro import analyze
+
+        result = analyze(CONFLICT)
+        assert apply_clones(result, []) == CONFLICT
+
+
+class TestOnWorkloads:
+    @pytest.mark.parametrize("name", ["adm", "spec77", "qcd"])
+    def test_cloning_never_loses_constants(self, name):
+        workload = load(name, scale=0.3)
+        report = clone_and_reanalyze(workload.source)
+        assert report.constants_after >= report.constants_before
+
+    def test_conflicting_sites_idiom_recovered(self):
+        # every workload contains deliberately conflicting call sites;
+        # cloning must recover at least some of them somewhere
+        recovered_total = 0
+        for name in ("adm", "doduc", "spec77"):
+            workload = load(name, scale=0.3)
+            report = clone_and_reanalyze(workload.source)
+            recovered_total += report.constants_recovered
+        assert recovered_total > 0
+
+    def test_semantics_preserved_on_workload(self):
+        workload = load("mdg", scale=0.4)
+        report = clone_and_reanalyze(workload.source)
+        if report.cloned is None:
+            pytest.skip("no clones planned at this scale")
+        original = run_program(workload.source, inputs=workload.inputs)
+        cloned = run_program(report.transformed_source, inputs=workload.inputs)
+        assert original.outputs == cloned.outputs

@@ -1,0 +1,139 @@
+"""Unit tests for the complete-propagation loop."""
+
+import pytest
+
+from repro import AnalysisConfig, JumpFunctionKind, analyze
+from repro.interp import run_program
+
+
+def complete_config(**kwargs):
+    return AnalysisConfig(
+        jump_function=JumpFunctionKind.POLYNOMIAL, complete=True, **kwargs
+    )
+
+
+class TestRounds:
+    def test_clean_program_single_round(self):
+        # the first round finds no dead code, so the loop stops there.
+        result = analyze("program m\nn = 1\nwrite n\nend\n", complete_config())
+        assert result.complete_stats.rounds == 1
+        assert result.complete_stats.dce_rounds_with_changes == 0
+
+    def test_round_cap_respected(self):
+        result = analyze(
+            "program m\nn = 1\nwrite n\nend\n",
+            complete_config(max_complete_rounds=1),
+        )
+        assert result.complete_stats.rounds <= 2
+
+    def test_per_round_stats_recorded(self):
+        source = """
+program m
+  n = 0
+  if (n /= 0) then
+    write 99
+  endif
+  write n
+end
+"""
+        result = analyze(source, complete_config())
+        stats = result.complete_stats
+        assert stats.folded_branches >= 1
+        assert stats.removed_blocks >= 1
+        assert len(stats.per_round) >= 1
+        assert "m" in stats.per_round[0]
+
+
+class TestCascades:
+    def test_two_level_dead_code_cascade(self):
+        """Killing one branch makes a second branch's condition constant —
+        the 'exposes additional constants' chain of §4.2."""
+        source = """
+program m
+  integer mode, level
+  mode = 0
+  level = 1
+  if (mode /= 0) then
+    level = 2
+  endif
+  if (level == 1) then
+    call leaf(7)
+  else
+    call leaf(8)
+  endif
+end
+subroutine leaf(k)
+  integer k
+  write k
+end
+"""
+        plain = analyze(source)
+        complete = analyze(source, complete_config())
+        assert "k" not in plain.constants("leaf")
+        assert complete.constants("leaf") == {"k": 7}
+
+    def test_transformed_program_semantics_unchanged(self):
+        """DCE only removes code the constants prove dead, so the original
+        execution outputs must be reproducible."""
+        source = """
+program m
+  integer flag
+  flag = 0
+  if (flag /= 0) then
+    write 111
+  endif
+  write 5
+end
+"""
+        trace = run_program(source)
+        result = analyze(source, complete_config())
+        assert trace.outputs == [5]
+        # the dead write is gone from the analyzed IR
+        from repro.ir.instructions import WriteOut
+
+        main_cfg = result.lowered.procedure("m").cfg
+        writes = [
+            i for _, i in main_cfg.instructions() if isinstance(i, WriteOut)
+        ]
+        # the folded branch's 'write 111' must not survive
+        assert len(writes) == 1
+        from repro.ir.instructions import Const
+
+        assert writes[0].values == [Const(5, type=writes[0].values[0].type)]
+
+    def test_complete_with_no_mod(self):
+        source = """
+program m
+  n = 0
+  if (n /= 0) then
+    write 1
+  endif
+  write 2
+end
+"""
+        result = analyze(source, complete_config(use_mod=False))
+        assert result.complete_stats.folded_branches >= 1
+
+
+class TestCallSiteRefresh:
+    def test_removed_call_leaves_solver_consistent(self):
+        source = """
+program m
+  integer off
+  off = 0
+  if (off /= 0) then
+    call leaf(1)
+  endif
+  call leaf(2)
+  call leaf(2)
+end
+subroutine leaf(k)
+  integer k
+  write k
+end
+"""
+        result = analyze(source, complete_config())
+        assert result.constants("leaf") == {"k": 2}
+        # the dead site is gone from the call-site table
+        callees = [c.callee for _, c in result.lowered.call_sites.values()]
+        assert callees.count("leaf") == 2

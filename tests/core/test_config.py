@@ -1,0 +1,96 @@
+"""Tests for configuration handling."""
+
+import pytest
+
+from repro.core.config import (
+    TABLE2_CONFIGS,
+    TABLE3_CONFIGS,
+    AnalysisConfig,
+    JumpFunctionKind,
+)
+
+
+class TestJumpFunctionKind:
+    def test_four_kinds(self):
+        assert len(JumpFunctionKind) == 4
+
+    def test_propagation_depth_property(self):
+        # §3.1: only pass-through and polynomial cross procedure bodies
+        assert not JumpFunctionKind.LITERAL.propagates_through_bodies
+        assert not JumpFunctionKind.INTRAPROCEDURAL.propagates_through_bodies
+        assert JumpFunctionKind.PASS_THROUGH.propagates_through_bodies
+        assert JumpFunctionKind.POLYNOMIAL.propagates_through_bodies
+
+    def test_values_match_cli_choices(self):
+        assert {k.value for k in JumpFunctionKind} == {
+            "literal",
+            "intraprocedural",
+            "pass_through",
+            "polynomial",
+        }
+
+
+class TestAnalysisConfig:
+    def test_defaults_match_the_papers_recommendation(self):
+        config = AnalysisConfig()
+        # the paper recommends pass-through with MOD and return functions
+        assert config.jump_function is JumpFunctionKind.PASS_THROUGH
+        assert config.use_return_jump_functions
+        assert config.use_mod
+        assert not config.complete
+        assert not config.intraprocedural_only
+
+    def test_frozen(self):
+        config = AnalysisConfig()
+        with pytest.raises(AttributeError):
+            config.use_mod = False  # type: ignore[misc]
+
+    def test_describe_mentions_every_flag(self):
+        config = AnalysisConfig(
+            jump_function=JumpFunctionKind.POLYNOMIAL,
+            use_return_jump_functions=False,
+            use_mod=False,
+            complete=True,
+            compose_return_functions=True,
+        )
+        text = config.describe()
+        for token in ("polynomial", "no-rjf", "no-mod", "complete", "composed"):
+            assert token in text
+
+    def test_hashable(self):
+        assert len({AnalysisConfig(), AnalysisConfig()}) == 1
+
+
+class TestTableConfigs:
+    def test_table2_columns(self):
+        assert list(TABLE2_CONFIGS) == [
+            "polynomial",
+            "pass_through",
+            "intraprocedural",
+            "literal",
+            "polynomial_no_rjf",
+            "pass_through_no_rjf",
+        ]
+        assert not TABLE2_CONFIGS["polynomial_no_rjf"].use_return_jump_functions
+
+    def test_table3_columns(self):
+        assert list(TABLE3_CONFIGS) == [
+            "polynomial_no_mod",
+            "polynomial_with_mod",
+            "complete",
+            "intraprocedural_only",
+        ]
+        assert not TABLE3_CONFIGS["polynomial_no_mod"].use_mod
+        assert TABLE3_CONFIGS["complete"].complete
+        assert TABLE3_CONFIGS["intraprocedural_only"].intraprocedural_only
+
+    def test_columns_distinct_within_each_table(self):
+        assert len(set(TABLE2_CONFIGS.values())) == len(TABLE2_CONFIGS)
+        assert len(set(TABLE3_CONFIGS.values())) == len(TABLE3_CONFIGS)
+
+    def test_tables_share_the_polynomial_baseline(self):
+        # Table 3 column 2 "is identical with the first column in Table 2"
+        assert (
+            TABLE2_CONFIGS["polynomial"]
+            == TABLE3_CONFIGS["polynomial_with_mod"]
+        )

@@ -1,0 +1,307 @@
+"""Integration tests: the full analyzer against hand-computed CONSTANTS."""
+
+import pytest
+
+from repro import AnalysisConfig, Analyzer, JumpFunctionKind, analyze
+from repro.core.config import TABLE2_CONFIGS, TABLE3_CONFIGS
+
+
+PROGRAM = """
+program main
+  integer n, m, unused
+  common /cfg/ gmax
+  integer gmax
+  call init
+  n = 10
+  m = n * 2 + 1
+  call work(n, m)
+  call chain(4)
+  read unused
+  call sink(unused)
+end
+
+subroutine init
+  common /cfg/ g
+  integer g
+  g = 100
+end
+
+subroutine work(k, j)
+  integer k, j
+  common /cfg/ lim
+  integer lim
+  j = k + lim
+end
+
+subroutine chain(d)
+  integer d
+  if (d > 0) then
+    call leaf(d)
+  endif
+end
+
+subroutine leaf(x)
+  integer x
+  write x
+end
+
+subroutine sink(v)
+  integer v
+  write v
+end
+"""
+
+
+class TestConstantsSets:
+    def test_polynomial_constants(self):
+        result = analyze(PROGRAM)
+        assert result.constants("work") == {"k": 10, "j": 21, "cfg.gmax": 100}
+        assert result.constants("chain") == {"d": 4, "cfg.gmax": 100}
+        assert result.constants("leaf") == {"x": 4, "cfg.gmax": 100}
+        assert result.constants("sink") == {"cfg.gmax": 100}
+
+    def test_pass_through_equals_polynomial_here(self):
+        # 'n' is a local constant, so gcp folds 'n*2+1' and pass-through
+        # matches polynomial on this program — the paper's §4.2 finding.
+        poly = analyze(PROGRAM, AnalysisConfig(JumpFunctionKind.POLYNOMIAL))
+        passthrough = analyze(PROGRAM, AnalysisConfig(JumpFunctionKind.PASS_THROUGH))
+        for proc in poly.lowered.procedures:
+            assert poly.constants(proc) == passthrough.constants(proc)
+
+    def test_polynomial_beats_pass_through_on_formal_arithmetic(self):
+        source = """
+program main
+  call outer(20)
+end
+subroutine outer(k)
+  integer k
+  call inner(2 * k + 1)
+end
+subroutine inner(v)
+  integer v
+  write v
+end
+"""
+        poly = analyze(source, AnalysisConfig(JumpFunctionKind.POLYNOMIAL))
+        passthrough = analyze(source, AnalysisConfig(JumpFunctionKind.PASS_THROUGH))
+        assert poly.constants("inner") == {"v": 41}
+        assert passthrough.constants("inner") == {}
+
+    def test_intraprocedural_depth_one_only(self):
+        result = analyze(PROGRAM, AnalysisConfig(JumpFunctionKind.INTRAPROCEDURAL))
+        # chain -> leaf passes its own formal: depth 2, missed
+        assert "x" not in result.constants("leaf")
+        # main -> chain passes a literal, found
+        assert result.constants("chain")["d"] == 4
+
+    def test_literal_misses_globals(self):
+        result = analyze(PROGRAM, AnalysisConfig(JumpFunctionKind.LITERAL))
+        assert "cfg.gmax" not in result.constants("work")
+        assert result.constants("chain") == {"d": 4}
+
+    def test_read_value_never_constant(self):
+        result = analyze(PROGRAM)
+        assert "v" not in result.constants("sink")
+
+    def test_never_called_procedure_stays_top(self):
+        source = PROGRAM + "\nsubroutine orphan(z)\ninteger z\nwrite z\nend\n"
+        result = analyze(source)
+        assert "orphan" not in result.solved.reached
+        from repro.core.lattice import TOP
+
+        assert result.solved.val["orphan"]["z"] is TOP
+
+    def test_meet_across_sites(self):
+        source = """
+program main
+  call s(1)
+  call s(2)
+  call t(3)
+  call t(3)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+subroutine t(b)
+  integer b
+  write b
+end
+"""
+        result = analyze(source)
+        assert result.constants("s") == {}
+        assert result.constants("t") == {"b": 3}
+
+
+class TestOrderings:
+    """The paper's structural claims, asserted on the integration program."""
+
+    def test_table2_column_ordering(self):
+        analyzer = Analyzer(PROGRAM)
+        results = analyzer.sweep(TABLE2_CONFIGS)
+        counts = {name: r.constants_found for name, r in results.items()}
+        assert counts["literal"] <= counts["intraprocedural"]
+        assert counts["intraprocedural"] <= counts["pass_through"]
+        assert counts["pass_through"] <= counts["polynomial"]
+        assert counts["pass_through_no_rjf"] <= counts["pass_through"]
+        assert counts["polynomial_no_rjf"] <= counts["polynomial"]
+
+    def test_mod_never_hurts(self):
+        analyzer = Analyzer(PROGRAM)
+        results = analyzer.sweep(TABLE3_CONFIGS)
+        assert (
+            results["polynomial_no_mod"].constants_found
+            <= results["polynomial_with_mod"].constants_found
+        )
+
+    def test_interprocedural_beats_intraprocedural(self):
+        analyzer = Analyzer(PROGRAM)
+        results = analyzer.sweep(TABLE3_CONFIGS)
+        assert (
+            results["intraprocedural_only"].constants_found
+            <= results["polynomial_with_mod"].constants_found
+        )
+
+    def test_constants_subset_across_jump_functions(self):
+        analyzer = Analyzer(PROGRAM)
+        weak = analyzer.run(AnalysisConfig(JumpFunctionKind.LITERAL))
+        strong = analyzer.run(AnalysisConfig(JumpFunctionKind.POLYNOMIAL))
+        for proc in weak.lowered.procedures:
+            weak_constants = weak.constants(proc)
+            strong_constants = strong.constants(proc)
+            for name, value in weak_constants.items():
+                assert strong_constants.get(name) == value
+
+
+class TestCompleteMode:
+    DEAD_BRANCH = """
+program main
+  integer n, mode
+  mode = 0
+  n = 10
+  call work(n)
+  if (mode /= 0) then
+    call work(99)
+  endif
+end
+
+subroutine work(k)
+  integer k
+  write k
+end
+"""
+
+    def test_dead_call_removed_exposes_constant(self):
+        normal = analyze(self.DEAD_BRANCH)
+        complete = analyze(
+            self.DEAD_BRANCH,
+            AnalysisConfig(JumpFunctionKind.POLYNOMIAL, complete=True),
+        )
+        assert "k" not in normal.constants("work")
+        assert complete.constants("work") == {"k": 10}
+
+    def test_complete_stats_recorded(self):
+        result = analyze(
+            self.DEAD_BRANCH,
+            AnalysisConfig(JumpFunctionKind.POLYNOMIAL, complete=True),
+        )
+        stats = result.complete_stats
+        assert stats is not None
+        assert stats.folded_branches >= 1
+        assert stats.rounds >= 2  # one mutating round + one confirming round
+
+    def test_one_dce_round_suffices(self):
+        # the paper's observation: the second propagation exposes no new
+        # dead code
+        result = analyze(
+            self.DEAD_BRANCH,
+            AnalysisConfig(JumpFunctionKind.POLYNOMIAL, complete=True),
+        )
+        assert result.complete_stats.dce_rounds_with_changes == 1
+
+    def test_complete_on_clean_program_single_extra_round(self):
+        source = "program main\nn = 1\nwrite n\nend\n"
+        result = analyze(
+            source, AnalysisConfig(JumpFunctionKind.POLYNOMIAL, complete=True)
+        )
+        assert result.complete_stats.dce_rounds_with_changes <= 1
+
+
+class TestRecursion:
+    FACT = """
+program main
+  integer r
+  r = 1
+  call fact(5, r)
+  write r
+end
+subroutine fact(n, acc)
+  integer n, acc
+  if (n > 1) then
+    acc = acc * n
+    call fact(n - 1, acc)
+  endif
+end
+"""
+
+    def test_recursive_program_terminates(self):
+        result = analyze(self.FACT)
+        # n is 5 at the outer call but n-1 inside: meets to bottom
+        assert "n" not in result.constants("fact")
+
+    def test_mutual_recursion_terminates(self):
+        source = """
+program main
+  call even(4)
+end
+subroutine even(n)
+  integer n
+  if (n > 0) call odd(n - 1)
+end
+subroutine odd(n)
+  integer n
+  if (n > 0) call even(n - 1)
+end
+"""
+        result = analyze(source)
+        assert result.solved.passes > 0
+
+
+class TestResultApi:
+    def test_transformed_source_parses(self):
+        from repro.frontend import parse_program
+
+        result = analyze(PROGRAM)
+        transformed = result.transformed_source()
+        assert transformed != PROGRAM
+        parse_program(transformed)  # must still be a valid program
+
+    def test_transformed_source_substitutes_global(self):
+        result = analyze(PROGRAM)
+        transformed = result.transformed_source()
+        assert "k + lim" not in transformed
+        assert "10 + 100" in transformed
+
+    def test_timings_cover_stages(self):
+        result = analyze(PROGRAM)
+        assert {"lower", "modref", "returns", "forward", "solve", "record"} <= set(
+            result.timings
+        )
+
+    def test_counts_consistent(self):
+        result = analyze(PROGRAM)
+        assert result.constants_found == result.substitutions.pairs
+        assert result.references_substituted >= result.constants_found
+
+    def test_analyzer_reuses_program(self):
+        analyzer = Analyzer(PROGRAM)
+        first = analyzer.run()
+        second = analyzer.run()
+        assert first.constants_found == second.constants_found
+
+    def test_analyze_accepts_parsed_program(self):
+        from repro.frontend import parse_program
+
+        program = parse_program(PROGRAM)
+        result = analyze(program)
+        assert result.constants_found > 0

@@ -1,0 +1,125 @@
+"""Tests for the Figure 1 lattice, including property-based lattice laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lattice import (
+    BOTTOM,
+    TOP,
+    constant_from_python,
+    height_remaining,
+    is_constant,
+    meet,
+    meet_all,
+)
+
+lattice_values = st.one_of(
+    st.just(TOP),
+    st.just(BOTTOM),
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+)
+
+
+class TestMeetTable:
+    """The exact rules on the left of Figure 1."""
+
+    def test_top_is_identity(self):
+        assert meet(TOP, 5) == 5
+        assert meet(5, TOP) == 5
+        assert meet(TOP, BOTTOM) is BOTTOM
+        assert meet(TOP, TOP) is TOP
+
+    def test_bottom_absorbs(self):
+        assert meet(BOTTOM, 5) is BOTTOM
+        assert meet(5, BOTTOM) is BOTTOM
+        assert meet(BOTTOM, BOTTOM) is BOTTOM
+
+    def test_equal_constants_preserved(self):
+        assert meet(7, 7) == 7
+        assert meet(True, True) is True
+
+    def test_unequal_constants_fall(self):
+        assert meet(7, 8) is BOTTOM
+
+    def test_bool_and_int_are_distinct_constants(self):
+        # 1 == True in Python; the lattice must not confuse them.
+        assert meet(1, True) is BOTTOM
+        assert meet(0, False) is BOTTOM
+
+
+class TestLatticeLaws:
+    @given(lattice_values, lattice_values)
+    def test_commutative(self, a, b):
+        assert meet(a, b) == meet(b, a)
+
+    @given(lattice_values, lattice_values, lattice_values)
+    def test_associative(self, a, b, c):
+        assert meet(meet(a, b), c) == meet(a, meet(b, c))
+
+    @given(lattice_values)
+    def test_idempotent(self, a):
+        assert meet(a, a) == a
+
+    @given(lattice_values)
+    def test_top_identity(self, a):
+        assert meet(TOP, a) == a
+
+    @given(lattice_values)
+    def test_bottom_absorbing(self, a):
+        assert meet(BOTTOM, a) is BOTTOM
+
+    @given(lattice_values, lattice_values)
+    def test_meet_lowers(self, a, b):
+        # height(meet) <= min(height(a), height(b))
+        result = meet(a, b)
+        assert height_remaining(result) <= height_remaining(a)
+        assert height_remaining(result) <= height_remaining(b)
+
+    @given(st.lists(lattice_values, max_size=6))
+    def test_meet_all_matches_fold(self, values):
+        folded = TOP
+        for value in values:
+            folded = meet(folded, value)
+        assert meet_all(values) == folded
+
+
+class TestBoundedDepth:
+    """The lattice depth bound of §2: a value lowers at most twice."""
+
+    def test_heights(self):
+        assert height_remaining(TOP) == 2
+        assert height_remaining(42) == 1
+        assert height_remaining(BOTTOM) == 0
+
+    @given(st.lists(lattice_values, min_size=1, max_size=20))
+    def test_chain_of_meets_lowers_at_most_twice(self, values):
+        current = TOP
+        drops = 0
+        for value in values:
+            lowered = meet(current, value)
+            if lowered != current or type(lowered) is not type(current):
+                drops += 1
+                current = lowered
+        assert drops <= 2
+
+
+class TestHelpers:
+    def test_is_constant(self):
+        assert is_constant(5)
+        assert is_constant(0)
+        assert is_constant(False)
+        assert not is_constant(TOP)
+        assert not is_constant(BOTTOM)
+
+    def test_constant_from_python(self):
+        assert constant_from_python(3) == 3
+        assert constant_from_python(True) is True
+        assert constant_from_python(2.5) is BOTTOM
+        assert constant_from_python("x") is BOTTOM
+
+    def test_singletons_survive_reconstruction(self):
+        from repro.core.lattice import _Bottom, _Top
+
+        assert _Top() is TOP
+        assert _Bottom() is BOTTOM

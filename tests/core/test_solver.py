@@ -1,0 +1,180 @@
+"""Unit tests for the worklist solver (stage 3)."""
+
+import pytest
+
+from repro import analyze
+from repro.core.lattice import BOTTOM, TOP
+from repro.core.solver import initial_val
+from repro.frontend import parse_program
+from repro.frontend.symbols import GlobalId
+from repro.ir import lower_program
+from repro.analysis.ssa import ensure_global_symbols
+
+
+class TestInitialVal:
+    def lowered(self, source):
+        lowered = lower_program(parse_program(source))
+        ensure_global_symbols(lowered)
+        return lowered
+
+    def test_formals_start_top(self):
+        lowered = self.lowered(
+            "program m\nx=1\nend\nsubroutine s(a, b)\ninteger a, b\na=b\nend\n"
+        )
+        val = initial_val(lowered)
+        assert val["s"]["a"] is TOP
+        assert val["s"]["b"] is TOP
+
+    def test_real_formals_excluded(self):
+        lowered = self.lowered(
+            "program m\nx=1\nend\nsubroutine s(a, r)\ninteger a\nreal r\na=1\nend\n"
+        )
+        val = initial_val(lowered)
+        assert "a" in val["s"]
+        assert "r" not in val["s"]
+
+    def test_array_formals_excluded(self):
+        lowered = self.lowered(
+            "program m\ninteger v(3)\ncall s(v)\nend\n"
+            "subroutine s(w)\ninteger w(3)\nw(1)=1\nend\n"
+        )
+        val = initial_val(lowered)
+        assert val["s"] == {}
+
+    def test_main_globals_data_initialized(self):
+        lowered = self.lowered(
+            "program m\ncommon /c/ g, h\ninteger g, h\ndata g /9/\nh = g\nend\n"
+        )
+        val = initial_val(lowered)
+        assert val["m"][GlobalId("c", 0)] == 9
+        assert val["m"][GlobalId("c", 1)] is BOTTOM  # uninitialized
+
+    def test_every_proc_sees_every_scalar_global(self):
+        lowered = self.lowered(
+            "program m\ncommon /c/ g\ninteger g\ng=1\ncall s\nend\n"
+            "subroutine s\nx = 1.0\nend\n"
+        )
+        val = initial_val(lowered)
+        assert GlobalId("c", 0) in val["s"]
+
+
+class TestPropagation:
+    def test_two_edges_meet(self):
+        source = """
+program m
+  call s(4)
+  call t
+end
+subroutine t
+  call s(4)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+"""
+        result = analyze(source)
+        assert result.solved.val["s"]["a"] == 4
+
+    def test_diverging_edges_meet_to_bottom(self):
+        source = """
+program m
+  call s(4)
+  call t
+end
+subroutine t
+  call s(5)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+"""
+        result = analyze(source)
+        assert result.solved.val["s"]["a"] is BOTTOM
+
+    def test_long_chain_propagates(self):
+        chain = ["program m", "  call p1(7)", "end"]
+        for i in range(1, 10):
+            chain.extend(
+                [
+                    f"subroutine p{i}(x)",
+                    "  integer x",
+                    f"  call p{i + 1}(x)",
+                    "end",
+                ]
+            )
+        chain.extend(["subroutine p10(x)", "  integer x", "  write x", "end"])
+        result = analyze("\n".join(chain) + "\n")
+        assert result.solved.val["p10"]["x"] == 7
+
+    def test_stats_counted(self):
+        result = analyze("program m\ncall s(1)\nend\nsubroutine s(a)\ninteger a\nwrite a\nend\n")
+        assert result.solved.passes >= 2
+        assert result.solved.evaluations >= 1
+        assert result.solved.meets == result.solved.evaluations
+
+    def test_self_loop_terminates(self):
+        source = """
+program m
+  call s(3)
+end
+subroutine s(a)
+  integer a
+  if (a > 0) then
+    call s(a)
+  endif
+end
+"""
+        result = analyze(source)
+        # a = 3 on every path (passed through unchanged)
+        assert result.solved.val["s"]["a"] == 3
+
+    def test_bottom_never_resurrects(self):
+        source = """
+program m
+  call s(1)
+  call s(2)
+  call s(1)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+"""
+        result = analyze(source)
+        assert result.solved.val["s"]["a"] is BOTTOM
+
+
+class TestConstantsAccessors:
+    def test_constants_excludes_top_and_bottom(self):
+        source = """
+program m
+  call s(1)
+  read n
+  call s2(n)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+subroutine s2(b)
+  integer b
+  write b
+end
+subroutine orphan(c)
+  integer c
+  write c
+end
+"""
+        result = analyze(source)
+        assert result.solved.constants("s") != {}
+        assert result.solved.constants("s2") == {}
+        assert result.solved.constants("orphan") == {}
+
+    def test_all_constants_shape(self):
+        result = analyze(
+            "program m\ncall s(1)\nend\nsubroutine s(a)\ninteger a\nwrite a\nend\n"
+        )
+        everything = result.solved.all_constants()
+        assert set(everything) == {"m", "s"}

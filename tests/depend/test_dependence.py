@@ -1,0 +1,103 @@
+"""Tests for the GCD and bounds dependence tests."""
+
+from repro.depend.dependence import (
+    DependenceResult,
+    LoopRange,
+    bounds_test,
+    gcd_test,
+    may_depend,
+)
+from repro.depend.subscripts import AffineSubscript
+
+
+def affine(constant, **coefficients):
+    return AffineSubscript(
+        constant, tuple(sorted(coefficients.items()))
+    )
+
+
+class TestGCDTest:
+    def test_same_form_maybe(self):
+        a = affine(0, i=1)
+        assert gcd_test(a, a) is DependenceResult.MAYBE
+
+    def test_gcd_refutes(self):
+        # 2i and 2i'+1: even vs odd — never equal
+        assert (
+            gcd_test(affine(0, i=2), affine(1, i=2))
+            is DependenceResult.INDEPENDENT
+        )
+
+    def test_gcd_allows_when_divisible(self):
+        assert (
+            gcd_test(affine(0, i=2), affine(4, i=2)) is DependenceResult.MAYBE
+        )
+
+    def test_invariant_pair_equal(self):
+        assert gcd_test(affine(5), affine(5)) is DependenceResult.MAYBE
+
+    def test_invariant_pair_unequal(self):
+        assert gcd_test(affine(5), affine(6)) is DependenceResult.INDEPENDENT
+
+    def test_mixed_coefficients(self):
+        # 3i = 6j + 2: gcd(3,6)=3 does not divide 2
+        assert (
+            gcd_test(affine(0, i=3), affine(2, j=6))
+            is DependenceResult.INDEPENDENT
+        )
+
+
+class TestBoundsTest:
+    RANGES = {"i": LoopRange("i", 1, 10)}
+
+    def test_disjoint_ranges_refuted(self):
+        # i vs i + 100 over 1..10: difference always negative
+        assert (
+            bounds_test(affine(0, i=1), affine(100, i=1), self.RANGES)
+            is DependenceResult.INDEPENDENT
+        )
+
+    def test_overlapping_ranges_maybe(self):
+        assert (
+            bounds_test(affine(0, i=1), affine(3, i=1), self.RANGES)
+            is DependenceResult.MAYBE
+        )
+
+    def test_unknown_range_maybe(self):
+        assert (
+            bounds_test(affine(0, i=1), affine(100, i=1), {})
+            is DependenceResult.MAYBE
+        )
+
+    def test_negative_coefficient(self):
+        # -i over 1..10 is -10..-1; vs constant 5: never equal
+        assert (
+            bounds_test(affine(0, i=-1), affine(5), self.RANGES)
+            is DependenceResult.INDEPENDENT
+        )
+
+    def test_constant_vs_inside_range(self):
+        assert (
+            bounds_test(affine(0, i=1), affine(5), self.RANGES)
+            is DependenceResult.MAYBE
+        )
+
+
+class TestMayDepend:
+    def test_nonlinear_is_maybe(self):
+        assert may_depend(None, affine(0, i=1)) is DependenceResult.MAYBE
+        assert may_depend(affine(0, i=1), None) is DependenceResult.MAYBE
+
+    def test_gcd_then_bounds(self):
+        ranges = {"i": LoopRange("i", 1, 10)}
+        # gcd passes (both odd strides), bounds refutes (offset 100)
+        assert (
+            may_depend(affine(0, i=1), affine(100, i=1), ranges)
+            is DependenceResult.INDEPENDENT
+        )
+
+    def test_no_ranges_falls_back_to_maybe(self):
+        assert (
+            may_depend(affine(0, i=1), affine(1, i=1))
+            is DependenceResult.MAYBE
+        )

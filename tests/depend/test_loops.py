@@ -1,0 +1,149 @@
+"""Tests for loop parallelizability classification."""
+
+import pytest
+
+from repro import analyze
+from repro.depend import classify_loops
+
+
+def verdicts_of(source, constants_env=True):
+    result = analyze(source)
+    return classify_loops(result, constants_env=constants_env)
+
+
+def main_src(body_lines, extra=""):
+    return "program t\n" + "\n".join(body_lines) + "\nend\n" + extra
+
+
+class TestParallelizable:
+    def test_independent_elementwise_loop(self):
+        verdicts = verdicts_of(
+            main_src(
+                ["integer a(10)", "do i = 1, 10", "a(i) = i", "enddo"]
+            )
+        )
+        (loop,) = verdicts
+        assert loop.parallelizable
+        assert loop.trip_count == 10
+        assert loop.profitable
+
+    def test_reduction_allowed(self):
+        verdicts = verdicts_of(
+            main_src(
+                ["m = 0", "do i = 1, 8", "m = m + i", "enddo"]
+            )
+        )
+        assert verdicts[0].parallelizable
+
+    def test_private_scalar_allowed(self):
+        verdicts = verdicts_of(
+            main_src(
+                ["integer a(10)", "do i = 1, 10", "k = i * 2", "a(i) = k",
+                 "enddo"]
+            )
+        )
+        assert verdicts[0].parallelizable
+
+
+class TestSerializing:
+    def test_loop_carried_array_dependence(self):
+        verdicts = verdicts_of(
+            main_src(
+                ["integer a(11)", "a(1) = 0", "do i = 1, 10",
+                 "a(i + 1) = a(i)", "enddo"]
+            )
+        )
+        (loop,) = verdicts
+        assert not loop.parallelizable
+        assert any("dependence" in reason for reason in loop.reasons)
+
+    def test_same_iteration_access_fine(self):
+        verdicts = verdicts_of(
+            main_src(
+                ["integer a(10)", "do i = 1, 10", "a(i) = a(i) + 1", "enddo"]
+            )
+        )
+        assert verdicts[0].parallelizable
+
+    def test_carried_scalar(self):
+        verdicts = verdicts_of(
+            main_src(
+                ["m = 0", "do i = 1, 10", "k = m", "m = i + k + 1", "enddo"]
+            )
+        )
+        assert not verdicts[0].parallelizable
+
+    def test_call_in_body_vetoes(self):
+        source = main_src(
+            ["do i = 1, 10", "call f(i)", "enddo"],
+            "subroutine f(x)\ninteger x\nwrite x\nend\n",
+        )
+        verdicts = verdicts_of(source)
+        assert not verdicts[0].parallelizable
+        assert any("call" in reason for reason in verdicts[0].reasons)
+
+    def test_strided_writes_disambiguated_by_gcd(self):
+        # writes to even elements, reads odd: gcd refutes the dependence
+        verdicts = verdicts_of(
+            main_src(
+                ["integer a(21)", "a(1) = 0",
+                 "do i = 1, 10", "a(2 * i) = a(2 * i + 1)", "enddo"]
+            )
+        )
+        assert verdicts[0].parallelizable
+
+
+class TestInterproceduralEffect:
+    SOURCE = """
+program main
+  call kernel(16)
+end
+subroutine kernel(n)
+  integer n, i
+  integer a(100)
+  do i = 1, n
+    a(i) = i
+  enddo
+end
+"""
+
+    def test_trip_count_needs_constants(self):
+        with_constants = verdicts_of(self.SOURCE, constants_env=True)
+        without = verdicts_of(self.SOURCE, constants_env=False)
+        assert with_constants[0].trip_count == 16
+        assert without[0].trip_count is None
+
+    def test_profitability_flips(self):
+        with_constants = verdicts_of(self.SOURCE, constants_env=True)
+        without = verdicts_of(self.SOURCE, constants_env=False)
+        assert with_constants[0].profitable
+        assert not without[0].profitable
+
+    def test_stride_disambiguation_needs_constants(self):
+        source = """
+program main
+  call pack(2)
+end
+subroutine pack(stride)
+  integer stride, i
+  integer a(40)
+  a(1) = 0
+  do i = 1, 10
+    a(stride * i) = a(stride * i + 1)
+  enddo
+end
+"""
+        with_constants = verdicts_of(source, constants_env=True)
+        without = verdicts_of(source, constants_env=False)
+        assert with_constants[0].parallelizable  # gcd(2,2) ∤ 1
+        assert not without[0].parallelizable  # nonlinear subscripts
+
+    def test_depth_recorded(self):
+        verdicts = verdicts_of(
+            main_src(
+                ["integer a(5,5)",
+                 "do i = 1, 5", "do j = 1, 5", "a(i, j) = 0", "enddo", "enddo"]
+            )
+        )
+        depths = {(v.induction_var, v.depth) for v in verdicts}
+        assert depths == {("i", 0), ("j", 1)}

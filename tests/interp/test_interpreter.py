@@ -1,0 +1,273 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.interp import InterpError, run_program
+
+
+def outputs_of(source, inputs=None):
+    return run_program(source, inputs=inputs).outputs
+
+
+def main_src(body_lines, extra=""):
+    return "program t\n" + "\n".join(body_lines) + "\nend\n" + extra
+
+
+class TestArithmetic:
+    def test_integer_arithmetic(self):
+        assert outputs_of(main_src(["write 2 + 3 * 4"])) == [14]
+
+    def test_fortran_division_truncates_toward_zero(self):
+        assert outputs_of(main_src(["n = -7", "write n / 2"])) == [-3]
+
+    def test_mod_sign_follows_dividend(self):
+        assert outputs_of(main_src(["write mod(-7, 3)"])) == [-1]
+
+    def test_power(self):
+        assert outputs_of(main_src(["write 2 ** 10"])) == [1024]
+
+    def test_intrinsics(self):
+        out = outputs_of(
+            main_src(["write max(3, 9), min(3, 9), abs(-4), isign(5, -1)"])
+        )
+        assert out == [9, 3, 4, -5]
+
+    def test_real_arithmetic(self):
+        out = outputs_of(main_src(["x = 1.5", "y = x * 2.0", "write y"]))
+        assert out == [3.0]
+
+    def test_mixed_assignment_truncates(self):
+        assert outputs_of(main_src(["n = 2.9", "write n"])) == [2]
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError, match="zero"):
+            outputs_of(main_src(["n = 0", "write 1 / n"]))
+
+    def test_logical_ops(self):
+        out = outputs_of(
+            main_src(
+                ["logical a", "a = 1 > 0 .and. .not. (2 > 3)", "write a"]
+            )
+        )
+        assert out == [True]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = main_src(
+            ["n = 5", "if (n > 3) then", "write 1", "else", "write 2", "endif"]
+        )
+        assert outputs_of(src) == [1]
+
+    def test_elseif_chain(self):
+        src = main_src(
+            [
+                "n = 2",
+                "if (n == 1) then",
+                "write 10",
+                "elseif (n == 2) then",
+                "write 20",
+                "else",
+                "write 30",
+                "endif",
+            ]
+        )
+        assert outputs_of(src) == [20]
+
+    def test_do_loop_sum(self):
+        src = main_src(
+            ["m = 0", "do i = 1, 5", "m = m + i", "enddo", "write m"]
+        )
+        assert outputs_of(src) == [15]
+
+    def test_do_loop_with_step(self):
+        src = main_src(
+            ["m = 0", "do i = 1, 10, 3", "m = m + 1", "enddo", "write m, i"]
+        )
+        # iterations at 1,4,7,10; i ends at 13 (trip-count semantics)
+        assert outputs_of(src) == [4, 13]
+
+    def test_do_loop_negative_step(self):
+        src = main_src(
+            ["m = 0", "do i = 5, 1, -1", "m = m * 10 + i", "enddo", "write m"]
+        )
+        assert outputs_of(src) == [54321]
+
+    def test_zero_trip_loop(self):
+        src = main_src(["m = 7", "do i = 5, 1", "m = 0", "enddo", "write m"])
+        assert outputs_of(src) == [7]
+
+    def test_do_while(self):
+        src = main_src(
+            ["n = 1", "do while (n < 100)", "n = n * 2", "enddo", "write n"]
+        )
+        assert outputs_of(src) == [128]
+
+    def test_goto_loop(self):
+        src = main_src(
+            ["n = 0", "10 n = n + 1", "if (n < 4) goto 10", "write n"]
+        )
+        assert outputs_of(src) == [4]
+
+    def test_stop_halts(self):
+        src = main_src(["write 1", "stop", "write 2"])
+        trace = run_program(src)
+        assert trace.outputs == [1]
+        assert trace.stopped
+
+    def test_step_limit(self):
+        src = main_src(["n = 0", "do while (n >= 0)", "n = 0", "enddo"])
+        with pytest.raises(InterpError, match="step limit"):
+            run_program(src, max_steps=1000)
+
+
+class TestCallsAndReferences:
+    def test_by_reference_modification(self):
+        src = main_src(
+            ["n = 1", "call bump(n)", "write n"],
+            "subroutine bump(x)\ninteger x\nx = x + 41\nend\n",
+        )
+        assert outputs_of(src) == [42]
+
+    def test_expression_actual_writes_lost(self):
+        src = main_src(
+            ["n = 1", "call bump(n + 0)", "write n"],
+            "subroutine bump(x)\ninteger x\nx = 99\nend\n",
+        )
+        assert outputs_of(src) == [1]
+
+    def test_function_call(self):
+        src = main_src(
+            ["write twice(21)"],
+            "integer function twice(x)\ninteger x\ntwice = x * 2\nend\n",
+        )
+        assert outputs_of(src) == [42]
+
+    def test_recursion(self):
+        src = main_src(
+            ["write fact(5)"],
+            (
+                "integer function fact(n)\ninteger n\n"
+                "if (n <= 1) then\nfact = 1\nelse\nfact = n * fact(n - 1)\n"
+                "endif\nend\n"
+            ),
+        )
+        assert outputs_of(src) == [120]
+
+    def test_array_element_by_reference(self):
+        src = main_src(
+            ["integer v(3)", "v(2) = 5", "call bump(v(2))", "write v(2)"],
+            "subroutine bump(x)\ninteger x\nx = x + 1\nend\n",
+        )
+        assert outputs_of(src) == [6]
+
+    def test_whole_array_passed(self):
+        src = main_src(
+            ["integer v(3)", "call fill(v)", "write v(1), v(3)"],
+            (
+                "subroutine fill(w)\ninteger w(3)\ninteger i\n"
+                "do i = 1, 3\nw(i) = i * 10\nenddo\nend\n"
+            ),
+        )
+        assert outputs_of(src) == [10, 30]
+
+
+class TestGlobals:
+    def test_common_shared(self):
+        src = """
+program t
+  common /c/ g
+  integer g
+  g = 5
+  call bump
+  write g
+end
+subroutine bump
+  common /c/ h
+  integer h
+  h = h + 1
+end
+"""
+        assert outputs_of(src) == [6]
+
+    def test_data_initialization(self):
+        src = """
+program t
+  common /c/ g
+  integer g
+  data g /42/
+  write g
+end
+"""
+        assert outputs_of(src) == [42]
+
+    def test_saved_local_persists(self):
+        src = main_src(
+            ["call count", "call count", "call count"],
+            (
+                "subroutine count\ninteger n\ndata n /0/\n"
+                "n = n + 1\nwrite n\nend\n"
+            ),
+        )
+        assert outputs_of(src) == [1, 2, 3]
+
+
+class TestUndefinedAndErrors:
+    def test_undefined_scalar_raises(self):
+        with pytest.raises(InterpError, match="undefined"):
+            outputs_of(main_src(["write n"]))
+
+    def test_undefined_array_element_raises(self):
+        with pytest.raises(InterpError, match="undefined"):
+            outputs_of(main_src(["integer v(3)", "write v(1)"]))
+
+    def test_subscript_out_of_bounds(self):
+        with pytest.raises(InterpError, match="out of bounds"):
+            outputs_of(main_src(["integer v(3)", "v(4) = 1"]))
+
+    def test_input_exhausted(self):
+        with pytest.raises(InterpError, match="exhausted"):
+            outputs_of(main_src(["read n"]))
+
+    def test_read_consumes_inputs(self):
+        src = main_src(["read n, m", "write n + m"])
+        assert outputs_of(src, inputs=[4, 5]) == [9]
+
+
+class TestTracing:
+    SRC = main_src(
+        ["n = 3", "call s(n)", "call s(n)"],
+        "subroutine s(a)\ninteger a\nwrite a\nend\n",
+    )
+
+    def test_invocations_recorded(self):
+        trace = run_program(self.SRC)
+        assert len(trace.invocations("s")) == 2
+        assert trace.invocations("s")[0]["a"] == 3
+
+    def test_undeclared_globals_in_snapshot(self):
+        src = """
+program t
+  common /c/ g
+  integer g
+  g = 9
+  call middle
+end
+subroutine middle
+  call leaf
+end
+subroutine leaf
+  common /c/ h
+  integer h
+  write h
+end
+"""
+        trace = run_program(src)
+        snapshot = trace.invocations("middle")[0]
+        from repro.frontend.symbols import GlobalId
+
+        assert snapshot[GlobalId("c", 0)] == 9
+
+    def test_steps_counted(self):
+        trace = run_program(self.SRC)
+        assert trace.steps > 0

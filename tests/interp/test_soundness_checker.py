@@ -1,0 +1,97 @@
+"""Edge cases for the soundness checker itself."""
+
+import pytest
+
+from repro import analyze
+from repro.interp import check_soundness, run_program
+from repro.interp.soundness import SoundnessViolation
+
+
+SOURCE = """
+program main
+  integer n
+  logical flag
+  n = 1
+  flag = .true.
+  call s(n, flag)
+end
+subroutine s(a, f)
+  integer a
+  logical f
+  write a
+end
+"""
+
+
+class TestVacuousCases:
+    def test_never_called_procedure_is_vacuously_sound(self):
+        source = SOURCE + "subroutine orphan(z)\ninteger z\nwrite z\nend\n"
+        result = analyze(source)
+        trace = run_program(source)
+        assert check_soundness(result, trace) == []
+
+    def test_unrecorded_key_skipped(self):
+        result = analyze(SOURCE)
+        trace = run_program(SOURCE)
+        # drop 'a' from every recorded snapshot: claims about it become
+        # unverifiable, not violations
+        for snapshot in trace.invocations("s"):
+            snapshot.pop("a", None)
+        assert check_soundness(result, trace) == []
+
+    def test_empty_trace_sound(self):
+        from repro.interp.interpreter import ExecutionTrace
+
+        result = analyze(SOURCE)
+        assert check_soundness(result, ExecutionTrace()) == []
+
+
+class TestTypeStrictness:
+    def test_bool_int_confusion_is_a_violation(self):
+        result = analyze(SOURCE)
+        trace = run_program(SOURCE)
+        # claim f = 1 (integer) while execution observed True (logical)
+        result.solved.val["s"]["f"] = 1
+        violations = check_soundness(result, trace)
+        assert len(violations) == 1
+        assert violations[0].key == "f"
+
+    def test_matching_bool_claim_is_sound(self):
+        result = analyze(SOURCE)
+        trace = run_program(SOURCE)
+        assert result.solved.val["s"]["f"] is True
+        assert check_soundness(result, trace) == []
+
+
+class TestViolationReporting:
+    def test_violation_fields_and_str(self):
+        result = analyze(SOURCE)
+        trace = run_program(SOURCE)
+        result.solved.val["s"]["a"] = 99
+        (violation,) = check_soundness(result, trace)
+        assert isinstance(violation, SoundnessViolation)
+        assert violation.procedure == "s"
+        assert violation.claimed == 99
+        assert violation.observed == 1
+        assert violation.invocation == 0
+        text = str(violation)
+        assert "99" in text and "s" in text
+
+    def test_every_invocation_checked(self):
+        source = """
+program main
+  call s(1)
+  call s(1)
+  call s(1)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+"""
+        result = analyze(source)
+        trace = run_program(source)
+        result.solved.val["s"]["a"] = 2
+        violations = check_soundness(result, trace)
+        assert len(violations) == 3
+        assert [v.invocation for v in violations] == [0, 1, 2]

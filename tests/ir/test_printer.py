@@ -1,0 +1,113 @@
+"""Tests for the IR printer (debugging output must stay trustworthy)."""
+
+from repro.analysis.ssa import build_ssa
+from repro.callgraph import build_call_graph, compute_modref, make_call_effects
+from repro.frontend import parse_program
+from repro.ir import format_cfg, format_instr, format_program, lower_program
+
+
+SOURCE = """
+program main
+  integer n, m
+  integer a(5)
+  n = 1 + 2
+  m = -n
+  a(1) = mod(n, 2)
+  m = a(1)
+  read n
+  write n, m
+  if (n > 0) then
+    call s(n)
+  endif
+  x = 1.5
+  n = x
+end
+subroutine s(k)
+  integer k
+  k = twice(k)
+  stop
+end
+integer function twice(v)
+  integer v
+  twice = v * 2
+end
+"""
+
+
+def lowered():
+    return lower_program(parse_program(SOURCE))
+
+
+class TestInstrFormatting:
+    def instrs_text(self, proc="main"):
+        cfg = lowered().procedure(proc).cfg
+        return [format_instr(i) for _, i in cfg.instructions()]
+
+    def test_binop(self):
+        assert "t0 = 1 + 2" in self.instrs_text()
+
+    def test_unop(self):
+        assert any("= - n" in line for line in self.instrs_text())
+
+    def test_intrinsic(self):
+        assert any("mod(n, 2)" in line for line in self.instrs_text())
+
+    def test_array_store_and_load(self):
+        lines = self.instrs_text()
+        assert any(line.startswith("a(") for line in lines)
+        assert any("= a(" in line for line in lines)
+
+    def test_read_write(self):
+        lines = self.instrs_text()
+        assert any(line.startswith("read n") for line in lines)
+        assert any(line.startswith("write n, m") for line in lines)
+
+    def test_call_with_site(self):
+        lines = self.instrs_text()
+        assert any("call s(&n)" in line and "[site" in line for line in lines)
+
+    def test_function_call_has_dest(self):
+        lines = self.instrs_text("s")
+        assert any("= call twice(&k)" in line for line in lines)
+
+    def test_stop(self):
+        assert "stop" in self.instrs_text("s")
+
+    def test_convert(self):
+        lines = self.instrs_text()
+        assert any("(integer)" in line or "(real)" in line for line in lines)
+
+    def test_cjump(self):
+        lines = self.instrs_text()
+        assert any(line.startswith("if t") and "then B" in line for line in lines)
+
+
+class TestGraphFormatting:
+    def test_format_cfg_headers(self):
+        text = format_cfg(lowered().procedure("main").cfg, "main")
+        assert text.startswith("procedure main")
+        assert "B0:" in text
+        assert "preds:" in text
+
+    def test_format_program_covers_all_procs(self):
+        text = format_program(lowered())
+        for name in ("main", "s", "twice"):
+            assert f"procedure {name}" in text
+
+    def test_ssa_form_prints_versions_and_phis(self):
+        low = lowered()
+        graph = build_call_graph(low)
+        modref = compute_modref(low, graph)
+        effects = make_call_effects(low, "main", modref)
+        ssa = build_ssa(low.procedure("main"), effects)
+        text = format_cfg(ssa.cfg, "main")
+        assert ".1 =" in text or ".1 " in text  # versioned names
+        assert "callkill" in text  # kill pseudo-defs visible
+
+    def test_every_instruction_formats(self):
+        # no instruction may fall through to repr()
+        low = lowered()
+        for name in low.procedures:
+            for _, instr in low.procedure(name).cfg.instructions():
+                line = format_instr(instr)
+                assert not line.startswith("<"), line

@@ -1,0 +1,151 @@
+"""Hypothesis strategies that generate random (valid, runnable)
+MiniFortran programs.
+
+Generated programs are *closed*: every variable is initialized before the
+first statement that could read it, loop bounds are small literals, and
+division never appears — so the reference interpreter always terminates
+quickly, which is what lets the fuzz tests check analyzer soundness
+against real executions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+_INT_VARS = ("n1", "n2", "n3", "m1", "m2")
+_GLOBALS = ("g1", "g2")
+
+small_int = st.integers(min_value=-20, max_value=20)
+loop_bound = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def expressions(draw, depth: int = 2) -> str:
+    """An integer-valued expression over the fixed variable pool."""
+    if depth <= 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(small_int))
+        if choice == 1:
+            return draw(st.sampled_from(_INT_VARS))
+        return draw(st.sampled_from(_GLOBALS))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return str(draw(small_int))
+    if kind == 1:
+        return draw(st.sampled_from(_INT_VARS + _GLOBALS))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    if kind == 2:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return f"({left} {op} {right})"
+    if kind == 3:
+        name = draw(st.sampled_from(["max", "min"]))
+        return f"{name}({left}, {right})"
+    return f"(-{left})"
+
+
+@st.composite
+def conditions(draw) -> str:
+    left = draw(expressions(depth=1))
+    right = draw(expressions(depth=1))
+    op = draw(st.sampled_from(["==", "/=", "<", "<=", ">", ">="]))
+    return f"{left} {op} {right}"
+
+
+def _safe_index(expr: str) -> str:
+    """An expression guaranteed to land in 1..12 (the array extent)."""
+    return f"mod(iabs({expr}), 12) + 1"
+
+
+@st.composite
+def statements(draw, depth: int = 2, callees: tuple[str, ...] = ()) -> list[str]:
+    """A short statement list (as indented source lines)."""
+    lines: list[str] = []
+    count = draw(st.integers(1, 4))
+    for _ in range(count):
+        kind = draw(st.integers(0, 7 if depth > 0 else 3))
+        if kind <= 1:
+            var = draw(st.sampled_from(_INT_VARS + _GLOBALS))
+            lines.append(f"  {var} = {draw(expressions())}")
+        elif kind == 2:
+            lines.append(f"  write {draw(expressions(depth=1))}")
+        elif kind == 3 and callees:
+            callee = draw(st.sampled_from(callees))
+            lines.append(f"  call {callee}({draw(expressions(depth=1))})")
+        elif kind == 6:
+            index = _safe_index(draw(expressions(depth=1)))
+            lines.append(f"  av({index}) = {draw(expressions(depth=1))}")
+        elif kind == 7:
+            var = draw(st.sampled_from(_INT_VARS))
+            index = _safe_index(draw(expressions(depth=1)))
+            lines.append(f"  {var} = av({index})")
+        elif kind == 4:
+            body = draw(statements(depth=depth - 1, callees=callees))
+            cond = draw(conditions())
+            lines.append(f"  if ({cond}) then")
+            lines.extend("  " + line for line in body)
+            if draw(st.booleans()):
+                other = draw(statements(depth=depth - 1, callees=callees))
+                lines.append("  else")
+                lines.extend("  " + line for line in other)
+            lines.append("  endif")
+        elif kind == 5:
+            body = draw(statements(depth=depth - 1, callees=callees))
+            bound = draw(loop_bound)
+            lines.append(f"  do i1 = 1, {bound}")
+            lines.extend("  " + line for line in body)
+            lines.append("  enddo")
+        else:
+            lines.append(f"  write {draw(small_int)}")
+    return lines
+
+
+_PRELUDE = [f"  {v} = {i}" for i, v in enumerate(_INT_VARS)] + [
+    # fully initialize the scratch array so loads never read undefined
+    # storage regardless of the random index expressions
+    "  do i1 = 1, 12",
+    "    av(i1) = i1",
+    "  enddo",
+]
+
+
+def _proc_header_decls() -> list[str]:
+    names = ", ".join(_INT_VARS + ("i1",))
+    return [
+        f"  integer {names}",
+        "  integer av(12)",
+        f"  common /cg/ {', '.join(_GLOBALS)}",
+        f"  integer {', '.join(_GLOBALS)}",
+    ]
+
+
+@st.composite
+def programs(draw) -> str:
+    """A whole program: main + up to three one-parameter subroutines."""
+    n_subs = draw(st.integers(0, 3))
+    sub_names = tuple(f"sub{i + 1}" for i in range(n_subs))
+
+    units: list[str] = []
+    main_lines = ["program fuzz"]
+    main_lines.extend(_proc_header_decls())
+    main_lines.extend(_PRELUDE)
+    for global_name in _GLOBALS:
+        main_lines.append(f"  {global_name} = {draw(small_int)}")
+    main_lines.extend(draw(statements(callees=sub_names)))
+    main_lines.append("end")
+    units.append("\n".join(main_lines))
+
+    for index, name in enumerate(sub_names):
+        # Later subroutines may call earlier ones (keeps the graph acyclic).
+        callable_from_here = sub_names[:index]
+        lines = [f"subroutine {name}(p1)"]
+        lines.append("  integer p1")
+        lines.extend(_proc_header_decls())
+        lines.extend(_PRELUDE)
+        lines.extend(draw(statements(callees=callable_from_here)))
+        lines.append(f"  write p1")
+        lines.append("end")
+        units.append("\n".join(lines))
+
+    return "\n\n".join(units) + "\n"

@@ -1,0 +1,131 @@
+"""Property-based tests for dominance on randomly generated CFGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dominance import compute_dominators, iterated_frontier
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instructions import CJump, Jump, Return, bool_const
+
+
+@st.composite
+def random_cfgs(draw):
+    """A connected CFG with arbitrary branch structure.
+
+    Blocks 0..n-1 exist; every block branches to one or two random
+    successors (favoring forward edges but allowing loops); the last block
+    returns. Every block is wired so it remains reachable by construction:
+    block i's primary successor is drawn from blocks i+1..n-1 when
+    possible.
+    """
+    n = draw(st.integers(min_value=2, max_value=12))
+    cfg = ControlFlowGraph()
+    blocks = [cfg.new_block() for _ in range(n)]
+    cfg.entry_id = blocks[0].id
+    cfg.exit_id = blocks[-1].id
+    for i, block in enumerate(blocks[:-1]):
+        # forward edge keeps everything reachable and guarantees exit paths
+        forward = draw(st.integers(min_value=i + 1, max_value=n - 1))
+        if draw(st.booleans()):
+            other = draw(st.integers(min_value=0, max_value=n - 1))
+            block.append(
+                CJump(
+                    cond=bool_const(True),
+                    if_true=blocks[forward].id,
+                    if_false=blocks[other].id,
+                )
+            )
+        else:
+            block.append(Jump(blocks[forward].id))
+    blocks[-1].append(Return())
+    cfg.remove_unreachable()
+    cfg.refresh()
+    return cfg
+
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+
+@given(cfg=random_cfgs())
+@SETTINGS
+def test_entry_dominates_everything(cfg):
+    tree = compute_dominators(cfg)
+    for block_id in tree.idom:
+        assert tree.dominates(cfg.entry_id, block_id)
+
+
+@given(cfg=random_cfgs())
+@SETTINGS
+def test_idom_strictly_dominates(cfg):
+    tree = compute_dominators(cfg)
+    for block_id, parent in tree.idom.items():
+        if block_id == cfg.entry_id:
+            assert parent == block_id
+        else:
+            assert tree.strictly_dominates(parent, block_id)
+
+
+@given(cfg=random_cfgs())
+@SETTINGS
+def test_idom_agrees_with_bruteforce(cfg):
+    """The CHK algorithm must match path-enumeration dominance."""
+    tree = compute_dominators(cfg)
+    reachable = sorted(tree.idom)
+
+    def dominates_bruteforce(a: int, b: int) -> bool:
+        # a dominates b iff removing a disconnects b from entry
+        if a == b:
+            return True
+        seen = set()
+        stack = [cfg.entry_id]
+        while stack:
+            node = stack.pop()
+            if node == a or node in seen:
+                continue
+            seen.add(node)
+            stack.extend(cfg.blocks[node].successors())
+        return b not in seen
+
+    for b in reachable:
+        for a in reachable:
+            assert tree.dominates(a, b) == dominates_bruteforce(a, b), (a, b)
+
+
+@given(cfg=random_cfgs())
+@SETTINGS
+def test_frontier_definition(cfg):
+    """b ∈ DF(a) iff a dominates a predecessor of b but not strictly b."""
+    tree = compute_dominators(cfg)
+    reachable = set(tree.idom)
+    for a in reachable:
+        expected = set()
+        for b in reachable:
+            preds = [p for p in cfg.blocks[b].preds if p in reachable]
+            if any(tree.dominates(a, p) for p in preds) and not (
+                tree.strictly_dominates(a, b)
+            ):
+                expected.add(b)
+        assert tree.frontier[a] == expected, a
+
+
+@given(cfg=random_cfgs())
+@SETTINGS
+def test_iterated_frontier_is_fixpoint(cfg):
+    tree = compute_dominators(cfg)
+    reachable = sorted(tree.idom)
+    seed = set(reachable[: max(1, len(reachable) // 2)])
+    closure = iterated_frontier(tree, seed)
+    again = iterated_frontier(tree, seed | closure)
+    assert closure <= again
+    # fixpoint: adding the closure's own frontier gains nothing new
+    assert again == closure | {
+        f for b in closure for f in tree.frontier.get(b, ())
+    } | closure or closure == again
+
+
+@given(cfg=random_cfgs())
+@SETTINGS
+def test_preorder_is_a_permutation(cfg):
+    tree = compute_dominators(cfg)
+    order = tree.preorder()
+    assert sorted(order) == sorted(tree.idom)

@@ -1,0 +1,109 @@
+"""Property-based whole-pipeline fuzzing.
+
+Random programs from :mod:`strategies` are pushed through every stage:
+parse → resolve → lower → analyze (several configurations) → execute →
+differential soundness audit. Failures here mean a real bug somewhere in
+the stack, which is exactly the point.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import AnalysisConfig, Analyzer, JumpFunctionKind
+from repro.core.lattice import is_constant
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import parse_program
+from repro.frontend.unparse import unparse
+from repro.interp import InterpError, check_soundness, run_program
+
+from .strategies import programs
+
+FUZZ_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(source=programs())
+@FUZZ_SETTINGS
+def test_pipeline_never_crashes(source):
+    analyzer = Analyzer(source)
+    for kind in JumpFunctionKind:
+        result = analyzer.run(AnalysisConfig(jump_function=kind))
+        assert result.constants_found >= 0
+
+
+@given(source=programs())
+@FUZZ_SETTINGS
+def test_jump_function_chain_on_random_programs(source):
+    analyzer = Analyzer(source)
+    results = {
+        kind: analyzer.run(AnalysisConfig(jump_function=kind))
+        for kind in JumpFunctionKind
+    }
+    chain = [
+        JumpFunctionKind.LITERAL,
+        JumpFunctionKind.INTRAPROCEDURAL,
+        JumpFunctionKind.PASS_THROUGH,
+        JumpFunctionKind.POLYNOMIAL,
+    ]
+    for weak, strong in zip(chain, chain[1:]):
+        for proc in results[weak].lowered.procedures:
+            weak_constants = results[weak].constants(proc)
+            strong_constants = results[strong].constants(proc)
+            for key, value in weak_constants.items():
+                assert strong_constants.get(key) == value, (
+                    f"{strong.value} lost {proc}.{key}={value} "
+                    f"found by {weak.value}"
+                )
+
+
+@given(source=programs())
+@FUZZ_SETTINGS
+def test_analyzer_sound_on_random_programs(source):
+    try:
+        trace = run_program(source, max_steps=300_000)
+    except InterpError:
+        # overflow-free by construction, but a fuzzam may still divide by
+        # zero via '**' folding etc.; partial traces remain valid evidence
+        return
+    analyzer = Analyzer(source)
+    for config in (
+        AnalysisConfig(JumpFunctionKind.POLYNOMIAL),
+        AnalysisConfig(JumpFunctionKind.POLYNOMIAL, use_mod=False),
+        AnalysisConfig(JumpFunctionKind.POLYNOMIAL, complete=True),
+        AnalysisConfig(
+            JumpFunctionKind.POLYNOMIAL, compose_return_functions=True
+        ),
+    ):
+        result = analyzer.run(config)
+        violations = check_soundness(result, trace)
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+
+@given(source=programs())
+@FUZZ_SETTINGS
+def test_unparse_roundtrip_on_random_programs(source):
+    once = unparse(parse_source(source))
+    twice = unparse(parse_source(once))
+    assert once == twice
+    parse_program(once)
+
+
+@given(source=programs())
+@FUZZ_SETTINGS
+def test_sccp_agrees_with_execution_outputs(source):
+    """If the analyzer proves a WRITE operand constant, the program must
+    only ever write that value at that site."""
+    try:
+        trace = run_program(source, max_steps=300_000)
+    except InterpError:
+        return
+    analyzer = Analyzer(source)
+    result = analyzer.run(AnalysisConfig(JumpFunctionKind.POLYNOMIAL))
+    # Every claimed constant in CONSTANTS must be internally consistent:
+    # is_constant values only.
+    for proc in result.lowered.procedures:
+        for value in result.constants(proc).values():
+            assert is_constant(value)
+    assert check_soundness(result, trace) == []

@@ -1,0 +1,99 @@
+"""Property-based tests over the workload generator's knobs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import parse_program
+from repro.interp import run_program
+from repro.workloads.generator import generate
+from repro.workloads.profiles import PROFILES, WorkloadProfile
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+profile_strategy = st.builds(
+    WorkloadProfile,
+    name=st.just("fuzzwl"),
+    seed=st.integers(1, 10_000),
+    phases=st.integers(1, 5),
+    pad_statements=st.integers(0, 6),
+    literal_args=st.integers(0, 8),
+    intra_args=st.integers(0, 4),
+    passthrough_chains=st.integers(0, 3),
+    chain_depth=st.integers(2, 4),
+    global_constants=st.integers(0, 4),
+    init_routine_globals=st.integers(0, 4),
+    mod_sensitive=st.integers(0, 4),
+    dead_branch_constants=st.integers(0, 3),
+    local_constants=st.integers(0, 4),
+    read_kills=st.integers(0, 3),
+    conflicting_sites=st.integers(0, 2),
+    skewed=st.booleans(),
+    function_results=st.integers(0, 2),
+    set_use=st.integers(0, 5),
+    set_use_calls=st.integers(0, 5),
+    leaf_call_fraction=st.floats(0.0, 1.0),
+    extra_global_leaves=st.integers(0, 5),
+    shallow_globals=st.booleans(),
+)
+
+
+@given(profile=profile_strategy)
+@SETTINGS
+def test_any_profile_generates_a_runnable_program(profile):
+    workload = generate(profile)
+    program = parse_program(workload.source)
+    assert program.main == "fuzzwl"
+    trace = run_program(
+        workload.source, inputs=workload.inputs, max_steps=3_000_000
+    )
+    assert trace.steps > 0
+
+
+@given(profile=profile_strategy)
+@SETTINGS
+def test_generation_is_deterministic(profile):
+    assert generate(profile).source == generate(profile).source
+
+
+@given(profile=profile_strategy)
+@SETTINGS
+def test_inputs_match_read_count(profile):
+    workload = generate(profile)
+    assert len(workload.inputs) == profile.read_kills
+
+
+@given(name=st.sampled_from(sorted(PROFILES)), factor=st.floats(0.1, 1.0))
+@SETTINGS
+def test_scaling_shrinks_monotonically(name, factor):
+    base = PROFILES[name]
+    scaled = base.scaled(factor)
+    full = generate(base)
+    small = generate(scaled)
+    assert small.line_count <= full.line_count
+    # shape flags survive scaling
+    assert scaled.skewed == base.skewed
+    assert scaled.shallow_globals == base.shallow_globals
+
+
+@given(profile=profile_strategy)
+@SETTINGS
+def test_jump_function_ordering_on_random_profiles(profile):
+    from repro import AnalysisConfig, Analyzer, JumpFunctionKind
+
+    workload = generate(profile)
+    analyzer = Analyzer(workload.source)
+    counts = {
+        kind: analyzer.run(AnalysisConfig(jump_function=kind)).constants_found
+        for kind in JumpFunctionKind
+    }
+    assert counts[JumpFunctionKind.LITERAL] <= counts[
+        JumpFunctionKind.INTRAPROCEDURAL
+    ]
+    assert (
+        counts[JumpFunctionKind.INTRAPROCEDURAL]
+        <= counts[JumpFunctionKind.PASS_THROUGH]
+    )
+    assert (
+        counts[JumpFunctionKind.PASS_THROUGH]
+        <= counts[JumpFunctionKind.POLYNOMIAL]
+    )

@@ -1,0 +1,47 @@
+"""Tests for the one-shot experiment report generator."""
+
+import pytest
+
+from repro.reporting.experiments import run_experiments, write_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_experiments(scale=0.2)
+
+
+class TestRunExperiments:
+    def test_all_sections_populated(self, report):
+        assert len(report.table1) == 12
+        assert len(report.table2) == 12
+        assert len(report.table3) == 12
+        assert len(report.costs) == 4
+        assert report.motivation["subscripts"] > 0
+        assert len(report.cloning) == 12
+
+    def test_markdown_renders(self, report):
+        text = report.to_markdown()
+        for heading in (
+            "# Measured experiment report",
+            "## Figure 1",
+            "## Table 1",
+            "## Table 2",
+            "## Table 3",
+            "## Jump function costs",
+            "## Motivation clients",
+            "## Procedure cloning",
+        ):
+            assert heading in text
+
+    def test_cloning_rows_consistent(self, report):
+        for row in report.cloning:
+            assert row["after"] >= row["before"]
+            assert row["growth"] >= 1.0
+
+    def test_write_report(self, report, tmp_path):
+        target = tmp_path / "report.md"
+        written = write_report(str(target), scale=0.2)
+        assert target.exists()
+        content = target.read_text()
+        assert "## Table 2" in content
+        assert len(written.table2) == 12

@@ -1,0 +1,109 @@
+"""Tests for table regeneration and formatting."""
+
+import pytest
+
+from repro.reporting import (
+    figure1_meet_table,
+    format_cost_report,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_cost_report,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.workloads import suite_names
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3(scale=SCALE)
+
+
+class TestTable1:
+    def test_all_programs_present(self, table1):
+        assert [row.program for row in table1] == suite_names()
+
+    def test_fields_sane(self, table1):
+        for row in table1:
+            assert row.lines > 0
+            assert row.procedures > 1
+            assert row.mean_lines > 0
+            assert row.median_lines > 0
+
+    def test_formatting(self, table1):
+        text = format_table1(table1)
+        assert "Table 1" in text
+        for name in suite_names():
+            assert name in text
+
+
+class TestTable2:
+    def test_all_programs_present(self, table2):
+        assert [row.program for row in table2] == suite_names()
+
+    def test_orderings(self, table2):
+        for row in table2:
+            assert row.literal <= row.intraprocedural <= row.pass_through
+            assert row.pass_through == row.polynomial
+            assert row.polynomial_no_rjf <= row.polynomial
+
+    def test_formatting_has_columns(self, table2):
+        text = format_table2(table2)
+        assert "Poly" in text and "PassNR" in text
+
+
+class TestTable3:
+    def test_orderings(self, table3):
+        for row in table3:
+            assert row.polynomial_no_mod <= row.polynomial_with_mod
+            assert row.complete >= row.polynomial_with_mod
+            assert row.intraprocedural_only <= row.polynomial_with_mod
+
+    def test_formatting(self, table3):
+        text = format_table3(table3)
+        assert "Complete" in text
+
+
+class TestFigure1:
+    def test_meet_table_contents(self):
+        text = figure1_meet_table()
+        assert "Figure 1" in text
+        assert "_|_" in text
+        assert "depth bound" in text
+
+    def test_meet_table_row_count(self):
+        lines = figure1_meet_table().splitlines()
+        # title + header + 4 rows + blank + note
+        assert len(lines) == 8
+
+
+class TestCostReport:
+    def test_cost_rows_cover_all_kinds(self):
+        rows = run_cost_report(scale=0.15)
+        assert {row.kind for row in rows} == {
+            "literal",
+            "intraprocedural",
+            "pass_through",
+            "polynomial",
+        }
+        text = format_cost_report(rows)
+        assert "build(s)" in text
+
+    def test_polynomial_support_is_small_in_practice(self):
+        rows = run_cost_report(scale=0.15)
+        poly = next(row for row in rows if row.kind == "polynomial")
+        assert poly.mean_support <= 2.0  # §3.1.5: |support| approaches 1

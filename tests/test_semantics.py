@@ -1,0 +1,177 @@
+"""Tests for the shared FORTRAN arithmetic semantics.
+
+These helpers back every compile-time evaluator *and* the interpreter;
+the property tests pin the agreements the differential oracle depends on.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import semantics
+from repro.semantics import (
+    EvalError,
+    apply_binary,
+    apply_intrinsic,
+    apply_unary,
+    int_div,
+    int_mod,
+    int_pow,
+    isign,
+    nint,
+)
+
+nonzero = st.integers(-100, 100).filter(lambda n: n != 0)
+ints = st.integers(-1000, 1000)
+
+
+class TestIntegerDivision:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (7, 2, 3),
+            (-7, 2, -3),
+            (7, -2, -3),
+            (-7, -2, 3),
+            (0, 5, 0),
+            (6, 3, 2),
+            (1, 2, 0),
+            (-1, 2, 0),
+        ],
+    )
+    def test_truncates_toward_zero(self, a, b, expected):
+        assert int_div(a, b) == expected
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(EvalError):
+            int_div(1, 0)
+
+    @given(ints, nonzero)
+    def test_division_identity(self, a, b):
+        quotient = int_div(a, b)
+        remainder = int_mod(a, b)
+        assert quotient * b + remainder == a
+
+    @given(ints, nonzero)
+    def test_remainder_sign_follows_dividend(self, a, b):
+        remainder = int_mod(a, b)
+        if remainder != 0:
+            assert (remainder > 0) == (a > 0)
+
+    @given(ints, nonzero)
+    def test_remainder_magnitude_bounded(self, a, b):
+        assert abs(int_mod(a, b)) < abs(b)
+
+
+class TestOtherOps:
+    def test_int_pow(self):
+        assert int_pow(2, 10) == 1024
+        assert int_pow(-3, 3) == -27
+        assert int_pow(5, 0) == 1
+
+    def test_int_pow_negative_exponent_truncates(self):
+        assert int_pow(2, -1) == 0
+        assert int_pow(1, -5) == 1
+        assert int_pow(-1, -3) == -1
+
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(0.5, 1), (0.4, 0), (-0.5, -1), (-0.4, 0), (2.5, 3), (-2.5, -3)],
+    )
+    def test_nint_rounds_half_away_from_zero(self, x, expected):
+        assert nint(x) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected", [(5, 1, 5), (5, -1, -5), (-5, 1, 5), (5, 0, 5)]
+    )
+    def test_isign(self, a, b, expected):
+        assert isign(a, b) == expected
+
+
+class TestApplyBinary:
+    @given(ints, ints)
+    def test_add_sub_mul_match_python(self, a, b):
+        assert apply_binary("+", a, b) == a + b
+        assert apply_binary("-", a, b) == a - b
+        assert apply_binary("*", a, b) == a * b
+
+    @given(ints, ints)
+    def test_comparisons_match_python(self, a, b):
+        assert apply_binary("<", a, b) == (a < b)
+        assert apply_binary(">=", a, b) == (a >= b)
+        assert apply_binary("==", a, b) == (a == b)
+        assert apply_binary("/=", a, b) == (a != b)
+
+    def test_logical(self):
+        assert apply_binary(".and.", True, False) is False
+        assert apply_binary(".or.", True, False) is True
+
+    def test_float_division(self):
+        assert apply_binary("/", 1.0, 4.0) == 0.25
+
+    def test_mixed_promotes(self):
+        assert apply_binary("/", 1, 4.0) == 0.25
+        assert apply_binary("/", 1, 4) == 0
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvalError):
+            apply_binary("%%", 1, 2)
+
+    def test_complex_power_rejected(self):
+        with pytest.raises(EvalError):
+            apply_binary("**", -1.0, 0.5)
+
+
+class TestApplyUnaryAndIntrinsics:
+    def test_unary(self):
+        assert apply_unary("-", 5) == -5
+        assert apply_unary("+", 5) == 5
+        assert apply_unary(".not.", True) is False
+
+    def test_intrinsics(self):
+        assert apply_intrinsic("mod", [7, 3]) == 1
+        assert apply_intrinsic("max", [1, 9, 4]) == 9
+        assert apply_intrinsic("min", [1, 9, 4]) == 1
+        assert apply_intrinsic("abs", [-3]) == 3
+        assert apply_intrinsic("iabs", [-3]) == 3
+        assert apply_intrinsic("int", [2.9]) == 2
+        assert apply_intrinsic("real", [2]) == 2.0
+        assert apply_intrinsic("nint", [2.5]) == 3
+        assert apply_intrinsic("isign", [4, -2]) == -4
+
+    def test_float_mod(self):
+        assert apply_intrinsic("mod", [5.5, 2.0]) == pytest.approx(1.5)
+
+    def test_mod_zero_raises(self):
+        with pytest.raises(EvalError):
+            apply_intrinsic("mod", [5, 0])
+        with pytest.raises(EvalError):
+            apply_intrinsic("mod", [5.0, 0.0])
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(EvalError):
+            apply_intrinsic("sqrt", [4])
+
+
+class TestEvaluatorInterpreterAgreement:
+    """The property the differential oracle rests on: the interpreter and
+    the compile-time folder produce identical integers."""
+
+    @given(ints, nonzero, st.sampled_from(["+", "-", "*", "/"]))
+    def test_binary_agreement(self, a, b, op):
+        from repro.core.exprs import const_expr, make_binary
+
+        folded = make_binary(op, const_expr(a), const_expr(b))
+        runtime = apply_binary(op, a, b)
+        if folded.is_constant:
+            assert folded.value == runtime
+
+    @given(ints, st.integers(-50, 50))
+    def test_mod_agreement(self, a, b):
+        from repro.core.exprs import const_expr, make_intrinsic
+
+        folded = make_intrinsic("mod", [const_expr(a), const_expr(b)])
+        if b == 0:
+            assert folded.is_bottom
+        else:
+            assert folded.value == int_mod(a, b)

@@ -1,0 +1,88 @@
+"""Tests for the workload generator and suite."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.interp import run_program
+from repro.workloads import PROFILES, generate, load, load_suite, suite_names
+from repro.workloads.profiles import WorkloadProfile
+
+
+class TestDeterminism:
+    def test_same_profile_same_source(self):
+        profile = PROFILES["mdg"]
+        assert generate(profile).source == generate(profile).source
+
+    def test_different_seeds_differ(self):
+        base = PROFILES["mdg"]
+        other = WorkloadProfile(name="mdg2", seed=base.seed + 1,
+                                literal_args=base.literal_args)
+        assert generate(base).source != generate(other).source
+
+    def test_load_caches(self):
+        assert load("trfd") is load("trfd")
+
+    def test_suite_names_are_the_papers(self):
+        assert suite_names() == [
+            "adm", "doduc", "fpppp", "linpackd", "matrix300", "mdg",
+            "ocean", "qcd", "simple", "snasa7", "spec77", "trfd",
+        ]
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_parses(self, name):
+        workload = load(name)
+        program = parse_program(workload.source)
+        assert program.main == name
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_runs_to_completion(self, name):
+        workload = load(name)
+        trace = run_program(workload.source, inputs=workload.inputs,
+                            max_steps=5_000_000)
+        assert trace.outputs  # every workload writes something
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_every_procedure_invoked(self, name):
+        """No dead procedures: every generated routine actually runs."""
+        workload = load(name)
+        program = parse_program(workload.source)
+        trace = run_program(workload.source, inputs=workload.inputs,
+                            max_steps=5_000_000)
+        for proc_name in program.procedures:
+            if proc_name == program.main:
+                continue
+            assert trace.invocations(proc_name), f"{proc_name} never called"
+
+    def test_scaled_profile_smaller(self):
+        full = load("ocean")
+        small = load("ocean", scale=0.3)
+        assert small.line_count < full.line_count
+
+    def test_scaled_still_runs(self):
+        small = load("spec77", scale=0.3)
+        trace = run_program(small.source, inputs=small.inputs)
+        assert trace.outputs
+
+
+class TestShapeKnobs:
+    def test_skewed_programs_have_one_big_routine(self):
+        for name in ("fpppp", "simple"):
+            program = parse_program(load(name).source)
+            sizes = sorted(program.lines_per_procedure().values())
+            assert sizes[-1] > 3 * sizes[len(sizes) // 2], name
+
+    def test_ocean_has_init_routine(self):
+        program = parse_program(load("ocean").source)
+        assert "init" in program.procedures
+
+    def test_read_kills_consume_inputs(self):
+        workload = load("spec77")
+        assert len(workload.inputs) == PROFILES["spec77"].read_kills
+
+    def test_characteristics_table_shape(self):
+        program = parse_program(load("trfd").source)
+        chars = program.characteristics()
+        assert chars["lines"] > 50
+        assert chars["procedures"] >= 5

@@ -1,0 +1,64 @@
+"""Tests for the BLAS-style library workload."""
+
+import pytest
+
+from repro import analyze
+from repro.depend import classify_loops, classify_subscripts
+from repro.frontend import parse_program
+from repro.interp import check_soundness, run_program
+from repro.workloads.library import library_program
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze(library_program())
+
+
+class TestWellFormed:
+    def test_parses(self):
+        program = parse_program(library_program())
+        assert program.main == "bench"
+        assert len(program.procedures) >= 10
+
+    def test_runs(self):
+        trace = run_program(library_program(), inputs=[2, 4])
+        assert len(trace.outputs) == 1
+
+    def test_analyzer_sound_on_library(self, result):
+        trace = run_program(library_program(), inputs=[2, 4])
+        assert check_soundness(result, trace) == []
+
+
+class TestShenLiYew(object):
+    def test_roughly_half_recovered(self, result):
+        before = classify_subscripts(result, constants_env=False)
+        after = classify_subscripts(result, constants_env=True)
+        improved = before.nonlinear - after.nonlinear
+        assert 0.4 <= improved / before.nonlinear <= 0.8
+
+    def test_runtime_strides_stay_nonlinear(self, result):
+        after = classify_subscripts(result, constants_env=True)
+        nonlinear_procs = {s.procedure for s in after.nonlinear_sites()}
+        assert nonlinear_procs <= {"vgather", "submat", "interleave"}
+        assert "matmul2" not in nonlinear_procs
+
+    def test_lda_subscripts_linear_with_constants(self, result):
+        after = classify_subscripts(result, constants_env=True)
+        matmul_sites = [s for s in after.sites if s.procedure == "matmul2"]
+        assert matmul_sites
+        assert all(s.is_linear for s in matmul_sites)
+
+
+class TestEigenmannBlume:
+    def test_profitability_needs_constants(self, result):
+        before = classify_loops(result, constants_env=False)
+        after = classify_loops(result, constants_env=True)
+        assert sum(v.profitable for v in before) == 0
+        assert sum(v.profitable for v in after) >= 8
+
+    def test_reduction_loops_parallel(self, result):
+        after = classify_loops(result, constants_env=True)
+        matvec_inner = [
+            v for v in after if v.procedure == "matvec" and v.depth == 1
+        ]
+        assert matvec_inner and matvec_inner[0].parallelizable

@@ -35,22 +35,32 @@ def prepared():
     return bundle
 
 
-def test_worklist_solver(benchmark, prepared):
+def _sum_counters(results) -> dict[str, int]:
+    totals: dict[str, int] = {}
+    for result in results:
+        for key, value in result.counters().items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def test_worklist_solver(benchmark, prepared, bench_counters):
     def run():
         return [solve(lowered, graph, forward)
                 for lowered, graph, forward in prepared]
 
     results = benchmark(run)
     assert all(r.reached for r in results)
+    bench_counters.update(_sum_counters(results))
 
 
-def test_binding_graph_solver(benchmark, prepared, reporter):
+def test_binding_graph_solver(benchmark, prepared, reporter, bench_counters):
     def run():
         return [solve_binding_graph(lowered, graph, forward)
                 for lowered, graph, forward in prepared]
 
     results = benchmark(run)
     assert all(r.reached for r in results)
+    bench_counters.update(_sum_counters(results))
 
     worklist_results = [
         solve(lowered, graph, forward) for lowered, graph, forward in prepared

@@ -5,11 +5,18 @@ return jump functions, plus polynomial/pass-through without) over the
 full-scale suite, prints the regenerated table, and asserts the paper's
 column orderings."""
 
+from repro import GLOBAL_STAGE0_CACHE
 from repro.reporting import format_table2, run_table2
 
 
-def test_table2_jump_functions(benchmark, reporter):
+def test_table2_jump_functions(benchmark, reporter, bench_counters):
+    before = GLOBAL_STAGE0_CACHE.counters()
     rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    after = GLOBAL_STAGE0_CACHE.counters()
+    bench_counters.update(
+        {key: after[key] - before[key]
+         for key in ("stage0_cache_hits", "stage0_cache_misses")}
+    )
     reporter("Table 2 (constants found per jump function)", format_table2(rows))
     for row in rows:
         assert row.literal <= row.intraprocedural

@@ -5,9 +5,24 @@ Every benchmark prints the regenerated table/figure to stdout (run with
 ``-s`` pytest shows captured output per test at the end with ``-rA``).
 The heavyweight table sweeps run ``pedantic`` with one round — the
 interesting output is the table, the timing is a bonus.
+
+Every run also persists machine-readable results: per-benchmark
+wall-clock and whatever counters each test reported through the
+``bench_counters`` fixture land in ``BENCH_results.json`` at the repo
+root, so successive commits can be diffed without re-reading pytest
+output.
 """
 
+import json
+import platform
+import time
+
 import pytest
+
+RESULTS_FILENAME = "BENCH_results.json"
+
+#: test nodeid -> record written to BENCH_results.json.
+_records: dict[str, dict] = {}
 
 
 def emit(title: str, body: str) -> None:
@@ -21,3 +36,45 @@ def emit(title: str, body: str) -> None:
 @pytest.fixture
 def reporter():
     return emit
+
+
+@pytest.fixture
+def bench_counters(request):
+    """A dict a benchmark can fill with counters (solver pops/passes,
+    cache hits, …); the contents are persisted next to the test's
+    wall-clock in ``BENCH_results.json``."""
+    counters: dict[str, float] = {}
+    yield counters
+    if counters:
+        record = _records.setdefault(request.node.nodeid, {})
+        record["counters"] = {key: value for key, value in counters.items()}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call":
+        return
+    record = _records.setdefault(item.nodeid, {})
+    record["outcome"] = report.outcome
+    record["wall_seconds"] = round(report.duration, 6)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _records:
+        return
+    payload = {
+        "schema": 1,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exitstatus": int(exitstatus),
+        "benchmarks": [
+            {"nodeid": nodeid, **record}
+            for nodeid, record in sorted(_records.items())
+        ],
+    }
+    path = session.config.rootpath / RESULTS_FILENAME
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    _records.clear()

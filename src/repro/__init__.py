@@ -26,7 +26,17 @@ Package map:
 """
 
 from repro.core.config import AnalysisConfig, JumpFunctionKind
-from repro.core.driver import AnalysisResult, Analyzer, analyze
+from repro.core.driver import (
+    GLOBAL_STAGE0_CACHE,
+    AnalysisResult,
+    Analyzer,
+    Stage0Artifacts,
+    Stage0Cache,
+    SweepSummary,
+    analyze,
+    build_stage0,
+    sweep_programs,
+)
 from repro.core.lattice import BOTTOM, TOP, is_constant, meet
 from repro.frontend.symbols import parse_program
 
@@ -37,11 +47,17 @@ __all__ = [
     "AnalysisResult",
     "Analyzer",
     "BOTTOM",
+    "GLOBAL_STAGE0_CACHE",
     "JumpFunctionKind",
+    "Stage0Artifacts",
+    "Stage0Cache",
+    "SweepSummary",
     "TOP",
     "analyze",
+    "build_stage0",
     "is_constant",
     "meet",
     "parse_program",
+    "sweep_programs",
     "__version__",
 ]

@@ -51,6 +51,40 @@ class CallGraph:
             stack.extend(self.callees(name))
         return seen
 
+    # -- orderings ------------------------------------------------------------
+
+    def reverse_postorder(self) -> list[str]:
+        """Reverse postorder over call edges from the main program.
+
+        Callers come before their callees on every acyclic path, which is
+        the direction interprocedural constants flow — the solver uses it
+        as a worklist priority so each sweep evaluates a call site at most
+        once before its callee is visited (§3.1.5's cost model counts
+        passes under exactly this schedule). Procedures unreachable from
+        the main program follow in name order, so the index is total.
+        """
+        postorder: list[str] = []
+        seen: set[str] = set()
+        stack: list[tuple[str, object]] = [(self.main, iter(self.callees(self.main)))]
+        seen.add(self.main)
+        while stack:
+            node, children = stack[-1]
+            for child in children:  # type: ignore[union-attr]
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, iter(self.callees(child))))
+                    break
+            else:
+                postorder.append(node)
+                stack.pop()
+        order = list(reversed(postorder))
+        order.extend(name for name in self.nodes if name not in seen)
+        return order
+
+    def rpo_index(self) -> dict[str, int]:
+        """Map each procedure to its reverse-postorder position."""
+        return {name: index for index, name in enumerate(self.reverse_postorder())}
+
     # -- SCC condensation -----------------------------------------------------
 
     def sccs(self) -> list[list[str]]:

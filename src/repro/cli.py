@@ -50,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "symbolically (extension)")
     analyze_cmd.add_argument("--transform", action="store_true",
                              help="print the transformed source")
+    analyze_cmd.add_argument("--stats", action="store_true",
+                             help="print per-stage timings, solver counters, "
+                                  "and stage-0 cache state")
 
     run_cmd = sub.add_parser("run", help="execute a file")
     run_cmd.add_argument("file")
@@ -63,6 +66,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default="all",
     )
     tables_cmd.add_argument("--scale", type=float, default=1.0)
+    tables_cmd.add_argument("--processes", type=int, default=None,
+                            help="fan the table sweeps across N worker "
+                                 "processes (default: in-process)")
 
     workload_cmd = sub.add_parser("workload", help="emit a suite program")
     workload_cmd.add_argument("name")
@@ -100,6 +106,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if constants:
             pretty = ", ".join(f"{k} = {v}" for k, v in sorted(constants.items()))
             print(f"CONSTANTS({proc}) = {{{pretty}}}")
+    if args.stats:
+        from repro.core.driver import GLOBAL_STAGE0_CACHE
+
+        print()
+        print(result.stats_report())
+        for key, value in GLOBAL_STAGE0_CACHE.counters().items():
+            print(f"  {key} {value}")
     if args.transform:
         print()
         print(result.transformed_source())
@@ -133,10 +146,12 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         print(reporting.format_table1(reporting.run_table1(args.scale)))
         print()
     if which in ("2", "all"):
-        print(reporting.format_table2(reporting.run_table2(args.scale)))
+        print(reporting.format_table2(
+            reporting.run_table2(args.scale, args.processes)))
         print()
     if which in ("3", "all"):
-        print(reporting.format_table3(reporting.run_table3(args.scale)))
+        print(reporting.format_table3(
+            reporting.run_table3(args.scale, args.processes)))
         print()
     if which in ("costs", "all"):
         print(reporting.format_cost_report(reporting.run_cost_report(args.scale)))

@@ -22,7 +22,7 @@ from repro.callgraph.graph import CallGraph
 from repro.core.builder import ForwardFunctions
 from repro.core.exprs import EntryKey
 from repro.core.lattice import BOTTOM, LatticeValue, meet
-from repro.core.solver import SolveResult, initial_val
+from repro.core.solver import SolveResult, _PriorityWorklist, initial_val
 from repro.ir.lower import LoweredProgram
 
 Binding = tuple[str, EntryKey]
@@ -77,14 +77,13 @@ def solve_binding_graph(
         return True
 
     # Reachability-driven seeding: when a procedure is first reached,
-    # evaluate every jump function at every site it contains.
-    worklist: list[Binding] = []
-    queued: set[Binding] = set()
+    # evaluate every jump function at every site it contains. The
+    # incremental phase then drains bindings in reverse-postorder priority
+    # of their procedure, like the main solver.
+    worklist = _PriorityWorklist(graph.rpo_index())
 
     def push(binding: Binding) -> None:
-        if binding not in queued:
-            worklist.append(binding)
-            queued.add(binding)
+        worklist.push(binding, binding[0])
 
     main = lowered.program.main
     # Iterative reach to avoid deep recursion on long call chains; every
@@ -113,12 +112,12 @@ def solve_binding_graph(
     # Incremental propagation along binding edges.
     while worklist:
         binding = worklist.pop()
-        queued.discard(binding)
-        result.passes += 1
         for site_id, key in dependents.get(binding, ()):
             if site_caller[site_id] not in result.reached:
                 continue
             if evaluate(site_id, key):
                 push((site_callee[site_id], key))
 
+    result.passes = worklist.passes
+    result.pops = worklist.pops
     return result

@@ -44,8 +44,14 @@ def build_forward_jump_functions(
     modref: ModRefInfo,
     returns: ReturnFunctionResult,
     config: AnalysisConfig,
+    ssa_cache=None,
 ) -> ForwardFunctions:
-    """Stage 2: construct every call site's forward jump functions."""
+    """Stage 2: construct every call site's forward jump functions.
+
+    ``ssa_cache`` (a :class:`repro.core.driver.SSACache`, or anything with
+    its ``get(name, use_mod)`` shape) reuses the SSA forms stage 1 built —
+    SSA depends only on MOD information, not on the jump-function kind.
+    """
     result = ForwardFunctions()
     active_modref = modref if config.use_mod else None
     rjf_table = returns.table if config.use_return_jump_functions else {}
@@ -57,8 +63,11 @@ def build_forward_jump_functions(
     }
 
     for name, lowered_proc in lowered.procedures.items():
-        effects = make_call_effects(lowered, name, active_modref)
-        ssa = build_ssa(lowered_proc, effects)
+        if ssa_cache is not None:
+            ssa = ssa_cache.get(name, config.use_mod)
+        else:
+            effects = make_call_effects(lowered, name, active_modref)
+            ssa = build_ssa(lowered_proc, effects)
         numbering = value_number(
             ssa, lowered, rjf_table, config.compose_return_functions
         )

@@ -11,9 +11,12 @@ fixpoint).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.dce import DCEStats, eliminate_dead_code
+from repro.callgraph.graph import build_call_graph
+from repro.callgraph.modref import compute_modref
 from repro.ir.lower import LoweredProgram, refresh_call_sites
 
 
@@ -27,20 +30,31 @@ class CompleteStats:
     removed_blocks: int = 0
     removed_stores: int = 0
     per_round: list[dict[str, DCEStats]] = field(default_factory=list)
+    #: wall-clock spent rebuilding the call graph and MOD/REF after
+    #: mutating rounds (the only stage-0 work complete mode repeats).
+    rebuild_seconds: float = 0.0
 
 
 def run_complete_propagation(
     lowered: LoweredProgram,
+    graph,
+    modref,
     config,
     run_pipeline,
+    timings: dict[str, float] | None = None,
 ) -> tuple[object, CompleteStats]:
-    """Drive the analyze/DCE loop. ``run_pipeline(lowered)`` must run
-    stages 1–3 and return an artifacts object with ``solved`` and
-    ``forward`` attributes. Returns the artifacts of the final (stable)
-    round. Mutates ``lowered`` in place."""
+    """Drive the analyze/DCE loop over a private stage-0 bundle.
+
+    ``run_pipeline(lowered, graph, modref)`` must run stages 1–3 and
+    return an artifacts object with ``solved`` and ``forward`` attributes.
+    The caller supplies the initial call graph and MOD/REF; they are
+    rebuilt here only after a round whose DCE actually mutated the
+    program, so stable rounds share the previous round's summaries.
+    Returns the artifacts of the final (stable) round. Mutates ``lowered``
+    in place."""
     stats = CompleteStats()
     while True:
-        artifacts = run_pipeline(lowered)
+        artifacts = run_pipeline(lowered, graph, modref)
         stats.rounds += 1
         if stats.rounds > config.max_complete_rounds:
             return artifacts, stats
@@ -65,4 +79,11 @@ def run_complete_propagation(
         if not any_change:
             return artifacts, stats
         stats.dce_rounds_with_changes += 1
+        start = time.perf_counter()
         refresh_call_sites(lowered)
+        graph = build_call_graph(lowered)
+        modref = compute_modref(lowered, graph)
+        elapsed = time.perf_counter() - start
+        stats.rebuild_seconds += elapsed
+        if timings is not None:
+            timings["modref"] = timings.get("modref", 0.0) + elapsed

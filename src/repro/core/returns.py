@@ -62,12 +62,18 @@ def build_return_jump_functions(
     graph: CallGraph,
     modref: ModRefInfo,
     config: AnalysisConfig,
+    ssa_cache=None,
 ) -> ReturnFunctionResult:
     """Stage 1: the bottom-up pass of §4.1.
 
     With ``config.use_return_jump_functions`` false, returns an empty
     table (Table 2's "No Return Jump Functions" columns) — calls then
     simply kill whatever MOD says they may modify.
+
+    ``ssa_cache`` (a :class:`repro.core.driver.SSACache`, or anything with
+    its ``get(name, use_mod)`` shape) shares SSA forms with stage 2 and
+    with other configurations; without one each procedure is converted
+    here from scratch.
     """
     result = ReturnFunctionResult()
     if not config.use_return_jump_functions:
@@ -77,8 +83,11 @@ def build_return_jump_functions(
     for scc in graph.bottom_up_sccs():
         for name in scc:
             lowered_proc = lowered.procedures[name]
-            effects = make_call_effects(lowered, name, active_modref)
-            ssa = build_ssa(lowered_proc, effects)
+            if ssa_cache is not None:
+                ssa = ssa_cache.get(name, config.use_mod)
+            else:
+                effects = make_call_effects(lowered, name, active_modref)
+                ssa = build_ssa(lowered_proc, effects)
             numbering = value_number(
                 ssa,
                 lowered,

@@ -7,6 +7,14 @@ globals start at their DATA values (or ⊥ when uninitialized). Each call
 edge transfers ``evaluate(jump function, VAL(caller))`` into the callee,
 met with the callee's current approximation (Figure 1).
 
+The worklist is a priority queue ordered by reverse postorder over the
+call graph: callers are evaluated before their callees, so on an acyclic
+graph one monotone sweep reaches the fixpoint, and on recursive cliques
+each extra sweep is driven only by values that actually lowered. The
+statistics distinguish ``pops`` (worklist extractions) from ``passes``
+(monotone sweeps in priority order) — the quantity the §3.1.5 cost
+analysis multiplies against per-pass jump-function evaluation cost.
+
 Because the lattice has bounded depth (each value lowers at most twice),
 the solver terminates after O(Σ |keys|) meets; the cost of each pass is
 the cost of the jump-function evaluations, exactly as analyzed in §3.1.5.
@@ -15,6 +23,7 @@ Procedures never reached from the main program keep ⊤ (paper §2).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.callgraph.graph import CallGraph
@@ -28,11 +37,18 @@ from repro.ir.lower import LoweredProgram
 
 @dataclass
 class SolveResult:
-    """VAL sets plus solver statistics."""
+    """VAL sets plus solver statistics.
+
+    ``pops`` counts worklist extractions (one procedure or binding
+    re-evaluation each); ``passes`` counts completed monotone sweeps over
+    the reverse-postorder schedule — a new pass begins whenever the solver
+    pops a node that does not extend the current ascending run.
+    """
 
     val: dict[str, dict[EntryKey, LatticeValue]] = field(default_factory=dict)
     reached: set[str] = field(default_factory=set)
     passes: int = 0
+    pops: int = 0
     evaluations: int = 0
     meets: int = 0
 
@@ -46,6 +62,15 @@ class SolveResult:
 
     def all_constants(self) -> dict[str, dict[EntryKey, LatticeValue]]:
         return {proc: self.constants(proc) for proc in self.val}
+
+    def counters(self) -> dict[str, int]:
+        """The solver statistics as a flat mapping (for reports/benchmarks)."""
+        return {
+            "passes": self.passes,
+            "pops": self.pops,
+            "evaluations": self.evaluations,
+            "meets": self.meets,
+        }
 
 
 def initial_val(lowered: LoweredProgram) -> dict[str, dict[EntryKey, LatticeValue]]:
@@ -75,22 +100,76 @@ def initial_val(lowered: LoweredProgram) -> dict[str, dict[EntryKey, LatticeValu
     return val
 
 
+def bottom_val(lowered: LoweredProgram) -> dict[str, dict[EntryKey, LatticeValue]]:
+    """⊥ everywhere: the entry environments of the purely intraprocedural
+    baseline (Table 3, column 4).
+
+    The baseline deliberately assumes *nothing* at procedure entry — not
+    even the main program's DATA initializations, because asserting that a
+    DATA value survives to a use point requires knowing which callees
+    modify COMMON storage, i.e. interprocedural MOD reasoning. Flooring
+    every key (rather than only non-main ones) keeps the baseline column
+    invariant under DATA statements; only locally derived constants count.
+    """
+    val = initial_val(lowered)
+    for env in val.values():
+        for key in env:
+            env[key] = BOTTOM
+    return val
+
+
+class _PriorityWorklist:
+    """A worklist ordered by reverse-postorder priority, with membership
+    dedup and monotone-sweep ("pass") accounting shared by both solvers."""
+
+    def __init__(self, order: dict[str, int]):
+        self._order = order
+        self._heap: list[tuple[int, int, object]] = []
+        self._queued: set[object] = set()
+        self._seq = 0
+        self._last_priority: int | None = None
+        self.passes = 0
+        self.pops = 0
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def priority_of(self, proc: str) -> int:
+        # Procedures introduced after the order was computed (impossible
+        # today, defensive) sort last.
+        return self._order.get(proc, len(self._order))
+
+    def push(self, item: object, proc: str) -> None:
+        if item in self._queued:
+            return
+        self._queued.add(item)
+        self._seq += 1
+        heapq.heappush(self._heap, (self.priority_of(proc), self._seq, item))
+
+    def pop(self) -> object:
+        priority, _, item = heapq.heappop(self._heap)
+        self._queued.discard(item)
+        self.pops += 1
+        if self._last_priority is None or priority <= self._last_priority:
+            self.passes += 1  # the ascending run wrapped: a new sweep
+        self._last_priority = priority
+        return item
+
+
 def solve(
     lowered: LoweredProgram,
     graph: CallGraph,
     forward: ForwardFunctions,
 ) -> SolveResult:
-    """Run the worklist propagation to a fixpoint."""
+    """Run the priority-worklist propagation to a fixpoint."""
     result = SolveResult(val=initial_val(lowered))
     val = result.val
 
-    worklist: list[str] = [lowered.program.main]
-    queued = {lowered.program.main}
+    worklist = _PriorityWorklist(graph.rpo_index())
+    worklist.push(lowered.program.main, lowered.program.main)
     while worklist:
         caller = worklist.pop()
-        queued.discard(caller)
         result.reached.add(caller)
-        result.passes += 1
         env = val[caller]
         for callee_name, call in graph.call_sites_from(caller):
             site = forward.sites.get(call.site_id)
@@ -107,9 +186,8 @@ def solve(
                 if lowered_value is not callee_env[key] and lowered_value != callee_env[key]:
                     callee_env[key] = lowered_value
                     changed = True
-            if (changed or callee_name not in result.reached) and (
-                callee_name not in queued
-            ):
-                worklist.append(callee_name)
-                queued.add(callee_name)
+            if changed or callee_name not in result.reached:
+                worklist.push(callee_name, callee_name)
+    result.passes = worklist.passes
+    result.pops = worklist.pops
     return result

@@ -35,6 +35,12 @@ class CostRow:
 
 
 def run_cost_report(scale: float = 1.0) -> list[CostRow]:
+    # One analyzer per program, shared across all four kinds: stage 0
+    # (lowering, call graph, MOD/REF) is configuration-independent, so the
+    # report prices only what differs between jump functions.
+    analyzers = {
+        name: Analyzer(load(name, scale).source) for name in suite_names()
+    }
     rows = []
     for kind in JumpFunctionKind:
         build = solve = record = 0.0
@@ -42,8 +48,7 @@ def run_cost_report(scale: float = 1.0) -> list[CostRow]:
         supports: list[int] = []
         constants = 0
         for name in suite_names():
-            analyzer = Analyzer(load(name, scale).source)
-            result = analyzer.run(AnalysisConfig(jump_function=kind))
+            result = analyzers[name].run(AnalysisConfig(jump_function=kind))
             build += result.timings["returns"] + result.timings["forward"]
             solve += result.timings["solve"]
             record += result.timings["record"]

@@ -3,7 +3,9 @@
 Each ``run_tableN`` sweeps the workload suite through the corresponding
 configurations and returns structured rows; ``format_tableN`` renders the
 paper's layout. Pass ``scale`` < 1.0 for quick runs (tests use 0.4; the
-benchmark harness runs full scale).
+benchmark harness runs full scale). Pass ``processes`` to fan the
+12-program sweeps across worker processes (each worker builds stage 0
+once per program and ships back picklable summaries).
 """
 
 from __future__ import annotations
@@ -11,10 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import TABLE2_CONFIGS, TABLE3_CONFIGS
-from repro.core.driver import Analyzer
+from repro.core.driver import sweep_programs
 from repro.core.lattice import BOTTOM, TOP, meet
 from repro.frontend.symbols import parse_program
 from repro.workloads import load, suite_names
+
+
+def _suite_sources(scale: float) -> dict[str, str]:
+    return {name: load(name, scale).source for name in suite_names()}
 
 
 @dataclass(frozen=True)
@@ -64,12 +70,12 @@ def run_table1(scale: float = 1.0) -> list[Table1Row]:
     return rows
 
 
-def run_table2(scale: float = 1.0) -> list[Table2Row]:
+def run_table2(scale: float = 1.0, processes: int | None = None) -> list[Table2Row]:
     """Constants found through use of jump functions (paper Table 2)."""
+    sweeps = sweep_programs(_suite_sources(scale), TABLE2_CONFIGS, processes)
     rows = []
     for name in suite_names():
-        results = Analyzer(load(name, scale).source).sweep(TABLE2_CONFIGS)
-        counts = {key: r.constants_found for key, r in results.items()}
+        counts = {key: cell.constants_found for key, cell in sweeps[name].items()}
         rows.append(
             Table2Row(
                 program=name,
@@ -84,12 +90,12 @@ def run_table2(scale: float = 1.0) -> list[Table2Row]:
     return rows
 
 
-def run_table3(scale: float = 1.0) -> list[Table3Row]:
+def run_table3(scale: float = 1.0, processes: int | None = None) -> list[Table3Row]:
     """Most precise jump function vs. other techniques (paper Table 3)."""
+    sweeps = sweep_programs(_suite_sources(scale), TABLE3_CONFIGS, processes)
     rows = []
     for name in suite_names():
-        results = Analyzer(load(name, scale).source).sweep(TABLE3_CONFIGS)
-        counts = {key: r.constants_found for key, r in results.items()}
+        counts = {key: cell.constants_found for key, cell in sweeps[name].items()}
         rows.append(
             Table3Row(
                 program=name,

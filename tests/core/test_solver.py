@@ -110,7 +110,9 @@ end
 
     def test_stats_counted(self):
         result = analyze("program m\ncall s(1)\nend\nsubroutine s(a)\ninteger a\nwrite a\nend\n")
-        assert result.solved.passes >= 2
+        assert result.solved.pops >= 2
+        assert result.solved.passes >= 1
+        assert result.solved.passes <= result.solved.pops
         assert result.solved.evaluations >= 1
         assert result.solved.meets == result.solved.evaluations
 
@@ -144,6 +146,91 @@ end
 """
         result = analyze(source)
         assert result.solved.val["s"]["a"] is BOTTOM
+
+
+class TestScheduling:
+    """Reverse-postorder priority scheduling and pass/pop accounting."""
+
+    DIAMOND = """
+program m
+  call b(1)
+  call c(1)
+end
+subroutine b(x)
+  integer x
+  call d(x)
+end
+subroutine c(y)
+  integer y
+  call d(y)
+end
+subroutine d(z)
+  integer z
+  write z
+end
+"""
+
+    def test_diamond_passes_and_pops(self):
+        # Priority order visits m, then b and c (both before d), then d:
+        # one monotone sweep, four pops. The old LIFO worklist counted
+        # every pop as a "pass", overstating the §3.1.5 cost fourfold.
+        result = analyze(self.DIAMOND, cache=None)
+        assert result.solved.pops == 4
+        assert result.solved.passes == 1
+        assert result.solved.val["d"]["z"] == 1
+
+    def test_diamond_diverging_still_one_pass(self):
+        source = self.DIAMOND.replace("call c(1)", "call c(2)")
+        result = analyze(source, cache=None)
+        assert result.solved.pops == 4
+        assert result.solved.passes == 1
+        from repro.core.lattice import BOTTOM
+
+        assert result.solved.val["d"]["z"] is BOTTOM
+
+    def test_recursive_clique_needs_extra_passes(self):
+        source = """
+program m
+  call even(4)
+end
+subroutine even(n)
+  integer n
+  if (n > 0) call odd(n - 1)
+end
+subroutine odd(n)
+  integer n
+  if (n > 0) call even(n - 1)
+end
+"""
+        result = analyze(source, cache=None)
+        # the cycle forces at least one wrap of the priority order
+        assert result.solved.passes >= 2
+        assert result.solved.pops >= result.solved.passes
+
+    def test_counters_mapping(self):
+        result = analyze(self.DIAMOND, cache=None)
+        counters = result.solved.counters()
+        assert counters["pops"] == result.solved.pops
+        assert counters["passes"] == result.solved.passes
+        assert set(counters) == {"passes", "pops", "evaluations", "meets"}
+
+
+class TestBaselineVal:
+    """bottom_val: the Table 3 intraprocedural baseline's entry state."""
+
+    def test_bottom_everywhere_even_with_data(self):
+        from repro.core.solver import bottom_val
+        from repro.analysis.ssa import ensure_global_symbols
+        from repro.ir import lower_program
+
+        lowered = lower_program(parse_program(
+            "program m\ncommon /c/ g\ninteger g\ndata g /9/\nwrite g\nend\n"
+        ))
+        ensure_global_symbols(lowered)
+        val = bottom_val(lowered)
+        assert all(
+            value is BOTTOM for env in val.values() for value in env.values()
+        )
 
 
 class TestConstantsAccessors:

@@ -17,6 +17,8 @@ from repro.core.config import (
 )
 from repro.workloads import load, suite_names
 
+pytestmark = pytest.mark.slow  # whole-suite sweep: seconds, not millis
+
 SCALE = 0.4
 
 

@@ -1,5 +1,6 @@
 """Property-based tests over the workload generator's knobs."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -75,6 +76,7 @@ def test_scaling_shrinks_monotonically(name, factor):
     assert scaled.shallow_globals == base.shallow_globals
 
 
+@pytest.mark.slow  # dozens of hypothesis examples, each a 4-config sweep
 @given(profile=profile_strategy)
 @SETTINGS
 def test_jump_function_ordering_on_random_profiles(profile):

@@ -4,6 +4,8 @@ import pytest
 
 from repro.reporting.experiments import run_experiments, write_report
 
+pytestmark = pytest.mark.slow  # regenerates every table at scale 0.2
+
 
 @pytest.fixture(scope="module")
 def report():

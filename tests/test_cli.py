@@ -58,6 +58,14 @@ class TestAnalyze:
         assert main(["analyze", source_file, "--transform"]) == 0
         assert "program main" in capsys.readouterr().out
 
+    def test_stats_prints_timings_and_counters(self, source_file, capsys):
+        assert main(["analyze", source_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage timings" in out
+        assert "solve" in out and "ms" in out
+        assert "pops" in out and "passes" in out
+        assert "stage0_cache_hits" in out
+
     def test_parse_error_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.f"
         bad.write_text("program p\nn = \nend\n")

@@ -11,6 +11,13 @@ wall-clock and whatever counters each test reported through the
 ``bench_counters`` fixture land in ``BENCH_results.json`` at the repo
 root, so successive commits can be diffed without re-reading pytest
 output.
+
+``--bench-check`` turns the committed ``BENCH_results.json`` into a
+regression gate: each benchmark's *work counters* (``evaluations`` and
+``meets`` — deterministic, unlike wall-clock) are compared against the
+committed baseline and the run fails if any grew more than 10%. In check
+mode the results file is left untouched, so the baseline survives the
+comparison it anchors.
 """
 
 import json
@@ -21,8 +28,36 @@ import pytest
 
 RESULTS_FILENAME = "BENCH_results.json"
 
+#: counters gated by --bench-check: deterministic work measures only.
+REGRESSION_KEYS = ("evaluations", "meets")
+REGRESSION_TOLERANCE = 0.10
+
 #: test nodeid -> record written to BENCH_results.json.
 _records: dict[str, dict] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-check",
+        action="store_true",
+        default=False,
+        help=(
+            "fail any benchmark whose evaluations/meets counters regressed "
+            f">{REGRESSION_TOLERANCE:.0%} against the committed "
+            f"{RESULTS_FILENAME} baseline (the file is not rewritten)"
+        ),
+    )
+
+
+def _baseline_counters(config) -> dict[str, dict]:
+    path = config.rootpath / RESULTS_FILENAME
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    return {
+        entry["nodeid"]: entry.get("counters", {})
+        for entry in payload.get("benchmarks", [])
+    }
 
 
 def emit(title: str, body: str) -> None:
@@ -42,12 +77,36 @@ def reporter():
 def bench_counters(request):
     """A dict a benchmark can fill with counters (solver pops/passes,
     cache hits, …); the contents are persisted next to the test's
-    wall-clock in ``BENCH_results.json``."""
+    wall-clock in ``BENCH_results.json``. Under ``--bench-check`` they
+    are instead diffed against the committed baseline."""
     counters: dict[str, float] = {}
     yield counters
-    if counters:
-        record = _records.setdefault(request.node.nodeid, {})
-        record["counters"] = {key: value for key, value in counters.items()}
+    if not counters:
+        return
+    record = _records.setdefault(request.node.nodeid, {})
+    record["counters"] = {key: value for key, value in counters.items()}
+    if not request.config.getoption("bench_check"):
+        return
+    baseline = _baseline_counters(request.config).get(request.node.nodeid)
+    if not baseline:
+        return  # new benchmark: nothing committed to regress against
+    regressions = []
+    for key in REGRESSION_KEYS:
+        old = baseline.get(key)
+        new = counters.get(key)
+        if not old or new is None:
+            continue
+        if new > old * (1 + REGRESSION_TOLERANCE):
+            regressions.append(
+                f"{key}: {old} -> {new} "
+                f"(+{(new / old - 1):.1%}, tolerance "
+                f"{REGRESSION_TOLERANCE:.0%})"
+            )
+    if regressions:
+        pytest.fail(
+            f"work-counter regression vs committed {RESULTS_FILENAME} for "
+            f"{request.node.nodeid}: " + "; ".join(regressions)
+        )
 
 
 @pytest.hookimpl(hookwrapper=True)
@@ -63,6 +122,9 @@ def pytest_runtest_makereport(item, call):
 
 def pytest_sessionfinish(session, exitstatus):
     if not _records:
+        return
+    if session.config.getoption("bench_check"):
+        _records.clear()  # check mode never rewrites its own baseline
         return
     payload = {
         "schema": 1,

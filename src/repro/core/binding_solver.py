@@ -8,24 +8,26 @@ jump function for b whose support includes a. Propagation then runs at
 the granularity of individual bindings instead of whole procedures — the
 classic trade: finer worklist, more bookkeeping.
 
+The dependency structure and the evaluate-and-meet machinery are the
+shared sparse :class:`~repro.core.engine.DeltaEngine`; the only thing
+this module adds over :func:`repro.core.solver.solve` is the worklist
+granularity (one binding per pop instead of one procedure's batched
+deltas per pop).
+
 Because both solvers compute the same greatest fixpoint over the same
 jump functions, their VAL sets must agree exactly; the test suite
-cross-checks them on every workload. (That agreement is also a strong
-regression net over the main solver.)
+cross-checks them (and the dense reference solver) on every workload.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 from repro.callgraph.graph import CallGraph
 from repro.core.builder import ForwardFunctions
-from repro.core.exprs import EntryKey
-from repro.core.lattice import BOTTOM, LatticeValue, meet
+from repro.core.engine import Binding, DeltaEngine
 from repro.core.solver import SolveResult, _PriorityWorklist, initial_val
 from repro.ir.lower import LoweredProgram
 
-Binding = tuple[str, EntryKey]
+__all__ = ["Binding", "solve_binding_graph"]
 
 
 def solve_binding_graph(
@@ -35,88 +37,30 @@ def solve_binding_graph(
 ) -> SolveResult:
     """Propagate VAL sets over the binding multi-graph."""
     result = SolveResult(val=initial_val(lowered))
-    val = result.val
-
-    # site-level views: (site, callee key) pairs to evaluate, and the
-    # reverse dependency map from caller bindings to those pairs.
-    site_caller: dict[int, str] = {}
-    site_callee: dict[int, str] = {}
-    dependents: dict[Binding, list[tuple[int, EntryKey]]] = defaultdict(list)
-    site_pairs: dict[int, list[EntryKey]] = defaultdict(list)
-    for site_id, site in forward.sites.items():
-        site_caller[site_id] = site.caller
-        site_callee[site_id] = site.callee
-        for key, function in site.all_functions():
-            site_pairs[site_id].append(key)
-            for support_key in function.support:
-                dependents[(site.caller, support_key)].append((site_id, key))
-
-    sites_of_caller: dict[str, list[int]] = defaultdict(list)
-    for site_id in forward.sites:
-        sites_of_caller[site_caller[site_id]].append(site_id)
-
-    def evaluate(site_id: int, key: EntryKey) -> bool:
-        """Evaluate one jump function and meet into the callee binding.
-        Returns True if the callee's value lowered."""
-        site = forward.sites[site_id]
-        caller_env = val[site_caller[site_id]]
-        callee_env = val[site_callee[site_id]]
-        if key not in callee_env:
-            return False
-        function = site.function_for(key)
-        result.evaluations += 1
-        incoming = function.evaluate(caller_env) if function else BOTTOM
-        lowered_value = meet(callee_env[key], incoming)
-        result.meets += 1
-        old = callee_env[key]
-        if lowered_value is old or (
-            lowered_value == old and type(lowered_value) is type(old)
-        ):
-            return False
-        callee_env[key] = lowered_value
-        return True
-
-    # Reachability-driven seeding: when a procedure is first reached,
-    # evaluate every jump function at every site it contains. The
-    # incremental phase then drains bindings in reverse-postorder priority
-    # of their procedure, like the main solver.
+    engine = DeltaEngine(forward.support_index(lowered), result.val, result)
     worklist = _PriorityWorklist(graph.rpo_index())
 
-    def push(binding: Binding) -> None:
-        worklist.push(binding, binding[0])
-
-    main = lowered.program.main
-    # Iterative reach to avoid deep recursion on long call chains; every
-    # callee key lacking a jump function at a reached site is killed once.
-    pending = [main]
-    reach_seen: set[str] = set()
+    # Reachability-driven seeding: when a procedure is first reached,
+    # evaluate every jump function at every site it contains, once.
+    # Iterative to avoid deep recursion on long call chains.
+    pending = [lowered.program.main]
     while pending:
         proc = pending.pop()
-        if proc in reach_seen:
+        if proc in result.reached:
             continue
-        reach_seen.add(proc)
         result.reached.add(proc)
-        for site_id in sites_of_caller[proc]:
-            callee = site_callee[site_id]
-            for key in site_pairs[site_id]:
-                if evaluate(site_id, key):
-                    push((callee, key))
-            for key in val[callee]:
-                if forward.sites[site_id].function_for(key) is None:
-                    lowered_value = meet(val[callee][key], BOTTOM)
-                    if lowered_value is not val[callee][key]:
-                        val[callee][key] = lowered_value
-                        push((callee, key))
-            pending.append(callee)
+        for callee, keys in engine.seed(proc).items():
+            for key in keys:
+                worklist.push((callee, key), callee)
+        pending.extend(engine.callees(proc))
 
-    # Incremental propagation along binding edges.
+    # Incremental propagation along binding edges, one delta per pop,
+    # drained in reverse-postorder priority of the binding's procedure.
     while worklist:
-        binding = worklist.pop()
-        for site_id, key in dependents.get(binding, ()):
-            if site_caller[site_id] not in result.reached:
-                continue
-            if evaluate(site_id, key):
-                push((site_callee[site_id], key))
+        proc, key = worklist.pop()
+        for callee, lowered_keys in engine.apply_deltas(proc, (key,)).items():
+            for lowered_key in lowered_keys:
+                worklist.push((callee, lowered_key), callee)
 
     result.passes = worklist.passes
     result.pops = worklist.pops

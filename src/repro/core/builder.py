@@ -15,6 +15,7 @@ from repro.analysis.ssa import SSAProcedure, build_ssa
 from repro.analysis.valuenum import ValueNumbering, value_number
 from repro.callgraph.modref import ModRefInfo, make_call_effects
 from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.engine import SupportIndex, build_support_index
 from repro.core.jump_functions import CallSiteFunctions, project
 from repro.core.returns import ReturnFunctionResult
 from repro.frontend.astnodes import Type
@@ -26,14 +27,24 @@ from repro.ir.lower import LoweredProgram
 @dataclass
 class ForwardFunctions:
     """Stage-2 output: jump functions per site, plus the analysis
-    artifacts later stages reuse (SSA form and value numbering)."""
+    artifacts later stages reuse (SSA form, value numbering, and the
+    support-dependency index the sparse solvers run on)."""
 
     sites: dict[int, CallSiteFunctions] = field(default_factory=dict)
     ssas: dict[str, SSAProcedure] = field(default_factory=dict)
     numberings: dict[str, ValueNumbering] = field(default_factory=dict)
+    #: precomputed by :func:`build_forward_jump_functions`; built lazily
+    #: for hand-assembled site tables (tests).
+    index: SupportIndex | None = None
 
     def site(self, site_id: int) -> CallSiteFunctions:
         return self.sites[site_id]
+
+    def support_index(self, lowered: LoweredProgram) -> SupportIndex:
+        """The reverse dependency index over these jump functions."""
+        if self.index is None:
+            self.index = build_support_index(lowered, self.sites)
+        return self.index
 
     def total_cost(self) -> int:
         return sum(site.total_cost() for site in self.sites.values())
@@ -105,4 +116,8 @@ def build_forward_jump_functions(
                     expr, config.jump_function, is_global=True
                 )
             result.sites[call.site_id] = site
+    # Precompute the support-dependency index here, in stage 2, so the
+    # sparse solvers only pay for propagation (and repeated solves over
+    # one ForwardFunctions share the index).
+    result.support_index(lowered)
     return result

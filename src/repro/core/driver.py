@@ -44,6 +44,7 @@ from repro.callgraph.modref import ModRefInfo, compute_modref, make_call_effects
 from repro.core.builder import ForwardFunctions, build_forward_jump_functions
 from repro.core.complete import CompleteStats, run_complete_propagation
 from repro.core.config import AnalysisConfig
+from repro.core.exprs import intern_counters
 from repro.core.lattice import LatticeValue
 from repro.core.returns import ReturnFunctionResult, build_return_jump_functions
 from repro.core.solver import SolveResult, bottom_val, solve
@@ -260,6 +261,8 @@ class AnalysisResult:
             lines.append(f"  {key:<12} {value}")
         lines.append("pipeline:")
         lines.append(f"  stage0_cached {1 if self.stage0_cached else 0}")
+        for key, value in intern_counters().items():
+            lines.append(f"  {key} {value}")
         for key in sorted(extras):
             lines.append(f"  {key} {extras[key]:g}")
         return "\n".join(lines)

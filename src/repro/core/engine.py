@@ -1,0 +1,364 @@
+"""Sparse delta-driven propagation engine — the shared stage-3 core.
+
+Both stage-3 solvers (:func:`repro.core.solver.solve` at procedure
+granularity, :func:`repro.core.binding_solver.solve_binding_graph` at
+binding granularity) drive the same machinery:
+
+- a :class:`SupportIndex`, precomputed by the stage-2 builder, that maps
+  each caller entry key to the ``(site, callee key)`` jump-function
+  bindings whose ``support()`` reads it — the reverse of the paper's §2
+  support sets, in the spirit of Wegman–Zadeck SSA-edge-driven SCCP;
+- a :class:`DeltaEngine` that seeds each procedure's call sites exactly
+  once when the procedure is first reached, then re-evaluates a jump
+  function only when one of its support keys actually *lowered* (a
+  "delta"), memoizing evaluations by interned-expression identity plus
+  the expression's support-slice of the environment.
+
+The §3.1.5 cost model charges a propagation pass the sum of the
+evaluated jump functions' costs; the delta discipline makes the engine's
+``evaluations`` counter track that quantity instead of the dense
+re-evaluate-everything upper bound. ⊥ jump functions contribute their
+one ⊥ meet without ever being evaluated, and a binding that has already
+fallen to ⊥ is never evaluated into again (both counted under
+``bottom_skips``); callee keys no site binds are killed once at seed
+time (counted under ``skipped``, not ``evaluations``).
+
+The engine mutates a VAL mapping in place and reports through any object
+carrying the counter attributes listed in :data:`ENGINE_COUNTERS`
+(:class:`repro.core.solver.SolveResult` does). Because every evaluation
+is a monotone function of the caller environment and every lowering is
+re-propagated, any drain order reaches the same greatest fixpoint as the
+dense reference solver — the suite cross-checks bit-identical VAL sets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.exprs import ConstExpr, EntryExpr, EntryKey, ValueExpr
+from repro.core.jump_functions import CallSiteFunctions
+from repro.core.lattice import BOTTOM, TOP, LatticeValue, meet
+from repro.frontend.astnodes import Type
+from repro.ir.lower import LoweredProgram
+
+#: (procedure, entry key) — one node of the binding multi-graph.
+Binding = tuple[str, EntryKey]
+
+#: Counter attributes the engine increments on its stats object.
+ENGINE_COUNTERS = (
+    "evaluations",
+    "meets",
+    "deltas",
+    "skipped",
+    "memo_hits",
+    "memo_misses",
+    "bottom_skips",
+)
+
+_MISSING = object()
+
+
+def _memo_value(value: LatticeValue) -> tuple:
+    """A memo-slice element: the value plus its class, so a LOGICAL
+    ``.true.`` never aliases an INTEGER ``1`` (True == 1 in Python)."""
+    return (value.__class__, value)
+
+
+def entry_keys(lowered: LoweredProgram) -> dict[str, list[EntryKey]]:
+    """Each procedure's propagated entry keys: scalar INTEGER/LOGICAL
+    formals plus every scalar global (paper §2, footnote 1)."""
+    scalar_gids = [
+        gid
+        for gid, gvar in lowered.program.globals.items()
+        if not gvar.is_array and gvar.type in (Type.INTEGER, Type.LOGICAL)
+    ]
+    keys: dict[str, list[EntryKey]] = {}
+    for name, lowered_proc in lowered.procedures.items():
+        proc_keys: list[EntryKey] = [
+            formal.name
+            for formal in lowered_proc.procedure.formals
+            if not formal.is_array
+            and formal.type in (Type.INTEGER, Type.LOGICAL)
+        ]
+        proc_keys.extend(scalar_gids)
+        keys[name] = proc_keys
+    return keys
+
+
+@dataclass(frozen=True, slots=True)
+class BindingEdge:
+    """One (call site, callee entry key) jump-function binding.
+
+    ``const`` hoists a constant jump function's folded value to index
+    construction (stage 2): §3.1.5 charges building such a function, not
+    re-deriving its value every pass, so the engine transfers ``const``
+    by meet alone — no solve-time evaluation at all. ``None`` means the
+    function genuinely reads the environment (or is ⊥).
+    """
+
+    site_id: int
+    caller: str
+    callee: str
+    key: EntryKey
+    expr: ValueExpr
+    #: the expression's support keys in deterministic first-use order —
+    #: the environment slice that keys the evaluation memo.
+    support: tuple[EntryKey, ...]
+    #: folded value for build-time-constant jump functions, else None.
+    const: LatticeValue | None
+
+
+class SupportIndex:
+    """The builder-precomputed dependency structure of one configuration's
+    forward jump functions.
+
+    ``seeds[p]``
+        every binding edge at a call site inside ``p`` (evaluated once
+        when ``p`` is first reached).
+    ``kills[p]``
+        ``(callee, key)`` pairs for callee entry keys some site in ``p``
+        binds *no* jump function for — each is met with ⊥ once at seed.
+    ``dependents[(p, k)]``
+        the edges whose jump-function support reads ``p``'s entry key
+        ``k`` — the fan-out of one delta.
+    ``callees[p]``
+        distinct callees of ``p``'s sites, for reachability.
+    """
+
+    __slots__ = ("seeds", "kills", "dependents", "callees")
+
+    def __init__(
+        self,
+        seeds: dict[str, tuple[BindingEdge, ...]],
+        kills: dict[str, tuple[Binding, ...]],
+        dependents: dict[Binding, tuple[BindingEdge, ...]],
+        callees: dict[str, tuple[str, ...]],
+    ):
+        self.seeds = seeds
+        self.kills = kills
+        self.dependents = dependents
+        self.callees = callees
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self.seeds.values())
+
+
+def build_support_index(
+    lowered: LoweredProgram, sites: Mapping[int, CallSiteFunctions]
+) -> SupportIndex:
+    """Precompute the support-dependency index for a site table (stage 2)."""
+    keys_of = entry_keys(lowered)
+    seeds: dict[str, list[BindingEdge]] = defaultdict(list)
+    kills: dict[str, list[Binding]] = defaultdict(list)
+    dependents: dict[Binding, list[BindingEdge]] = defaultdict(list)
+    callees: dict[str, list[str]] = defaultdict(list)
+
+    for site_id, site in sites.items():
+        caller, callee = site.caller, site.callee
+        if callee not in callees[caller]:
+            callees[caller].append(callee)
+        callee_keys = keys_of.get(callee, ())
+        callee_key_set = set(callee_keys)
+        bound: set[EntryKey] = set()
+        for key, function in site.all_functions():
+            if key not in callee_key_set:
+                continue  # defensive: arrays/REALs carry no lattice value
+            bound.add(key)
+            expr = function.expr
+            const = expr.value if expr.__class__ is ConstExpr else None
+            edge = BindingEdge(
+                site_id, caller, callee, key, expr,
+                function.support_order(), const,
+            )
+            seeds[caller].append(edge)
+            for support_key in edge.support:
+                dependents[(caller, support_key)].append(edge)
+        for key in callee_keys:
+            if key not in bound:
+                kills[caller].append((callee, key))
+
+    return SupportIndex(
+        {proc: tuple(edges) for proc, edges in seeds.items()},
+        {proc: tuple(pairs) for proc, pairs in kills.items()},
+        {binding: tuple(edges) for binding, edges in dependents.items()},
+        {proc: tuple(names) for proc, names in callees.items()},
+    )
+
+
+class DeltaEngine:
+    """Evaluate-and-meet over a :class:`SupportIndex`, with memoization.
+
+    One engine serves one solve: it owns the evaluation memo and mutates
+    ``val`` in place. The memo key — ``(id(expr), support slice)`` — is
+    sound because expressions are hash-consed (structural equality implies
+    identity for smart-constructor-built trees) and ``evaluate`` reads
+    nothing outside the support slice; the value class rides along in the
+    slice so a LOGICAL ``.true.`` never aliases an INTEGER ``1``.
+    """
+
+    __slots__ = ("_index", "_val", "_stats", "_memo")
+
+    def __init__(
+        self,
+        index: SupportIndex,
+        val: dict[str, dict[EntryKey, LatticeValue]],
+        stats,
+    ):
+        self._index = index
+        self._val = val
+        self._stats = stats
+        self._memo: dict[tuple, LatticeValue] = {}
+
+    def callees(self, caller: str) -> tuple[str, ...]:
+        return self._index.callees.get(caller, ())
+
+    def seed(self, caller: str) -> dict[str, dict[EntryKey, None]]:
+        """First visit of ``caller``: evaluate every jump function at its
+        sites once and kill unbound callee keys. Returns the lowered
+        callee bindings grouped by callee, each callee's keys distinct
+        and in evaluation order (insertion-ordered mappings).
+
+        Every edge of every solve crosses this loop exactly once, so the
+        edge transfer is inlined rather than routed through
+        :meth:`_evaluate_edge`: counters accumulate in locals (flushed
+        once at the end) and the ``meet(⊤, x) = x`` identity is applied
+        without a call — at seed time nearly every binding still sits at
+        ⊤. The delta path keeps the out-of-line form; it only runs for
+        jump functions whose support actually lowered.
+        """
+        val = self._val
+        caller_env = val[caller]
+        changed: dict[str, dict[EntryKey, None]] = {}
+        evaluations = meets = bottom_skips = 0
+        for edge in self._index.seeds.get(caller, ()):
+            callee = edge.callee
+            env = val[callee]
+            key = edge.key
+            old = env[key]
+            if old is BOTTOM:
+                bottom_skips += 1  # already at the lattice floor
+                continue
+            incoming = edge.const
+            if incoming is None:
+                expr = edge.expr
+                if expr.__class__ is EntryExpr:
+                    # pass-through: the evaluation *is* the env fetch
+                    evaluations += 1
+                    incoming = caller_env.get(expr.key, BOTTOM)
+                elif edge.support:
+                    incoming = self._poly_value(expr, edge.support, caller_env)
+                else:
+                    # support-free and not constant ⇒ ⊥: its one ⊥
+                    # contribution, applied without evaluation
+                    bottom_skips += 1
+                    incoming = BOTTOM
+            meets += 1
+            new = incoming if old is TOP else meet(old, incoming)
+            if new != old:
+                env[key] = new
+                keys = changed.get(callee)
+                if keys is None:
+                    keys = changed[callee] = {}
+                keys[key] = None
+        stats = self._stats
+        stats.evaluations += evaluations
+        stats.meets += meets
+        stats.bottom_skips += bottom_skips
+        for callee, key in self._index.kills.get(caller, ()):
+            stats.skipped += 1
+            env = val[callee]
+            if env[key] is BOTTOM:
+                continue
+            stats.meets += 1
+            env[key] = BOTTOM  # meet(old, ⊥) is ⊥ for every old
+            keys = changed.get(callee)
+            if keys is None:
+                keys = changed[callee] = {}
+            keys[key] = None
+        return changed
+
+    def apply_deltas(
+        self, proc: str, keys: Iterable[EntryKey]
+    ) -> dict[str, dict[EntryKey, None]]:
+        """Propagate lowered entry keys of ``proc`` to their dependent
+        jump functions. An edge dependent on several keys of the batch is
+        evaluated once. Returns the lowered callee bindings grouped by
+        callee (same shape as :meth:`seed`)."""
+        changed: dict[str, dict[EntryKey, None]] = {}
+        visited: set[int] = set()
+        dependents = self._index.dependents
+        stats = self._stats
+        for key in keys:
+            stats.deltas += 1
+            for edge in dependents.get((proc, key), ()):
+                edge_id = id(edge)
+                if edge_id in visited:
+                    continue
+                visited.add(edge_id)
+                if self._evaluate_edge(edge):
+                    lowered_keys = changed.get(edge.callee)
+                    if lowered_keys is None:
+                        lowered_keys = changed[edge.callee] = {}
+                    lowered_keys[edge.key] = None
+        return changed
+
+    def _poly_value(
+        self, expr: ValueExpr, support: tuple, caller_env: dict
+    ) -> LatticeValue:
+        """Memoized evaluation of a genuine polynomial jump function,
+        keyed on interned-expression identity plus the support slice of
+        the caller environment."""
+        stats = self._stats
+        if len(support) == 1:
+            values = _memo_value(caller_env.get(support[0], BOTTOM))
+        else:
+            values = tuple(
+                _memo_value(caller_env.get(key, BOTTOM)) for key in support
+            )
+        memo_key = (id(expr), values)
+        incoming = self._memo.get(memo_key, _MISSING)
+        if incoming is _MISSING:
+            stats.memo_misses += 1
+            stats.evaluations += 1
+            incoming = expr.evaluate(caller_env)
+            self._memo[memo_key] = incoming
+        else:
+            stats.memo_hits += 1
+        return incoming
+
+    def _evaluate_edge(self, edge: BindingEdge) -> bool:
+        """Transfer one jump-function binding: evaluate (or reuse) the
+        function's value and meet it into the callee binding. Returns
+        True when the binding lowered."""
+        stats = self._stats
+        env = self._val[edge.callee]
+        old = env[edge.key]
+        if old is BOTTOM:
+            stats.bottom_skips += 1  # already at the lattice floor
+            return False
+        incoming = edge.const
+        if incoming is None:
+            expr = edge.expr
+            if expr.__class__ is EntryExpr:
+                # pass-through: the evaluation *is* the env fetch, so a
+                # memo keyed on that fetch could never pay for itself
+                stats.evaluations += 1
+                incoming = self._val[edge.caller].get(expr.key, BOTTOM)
+            elif edge.support:
+                incoming = self._poly_value(
+                    edge.expr, edge.support, self._val[edge.caller]
+                )
+            else:
+                # support-free and not constant ⇒ ⊥: its one ⊥
+                # contribution, applied without evaluation; empty support
+                # means no delta ever revisits it either
+                stats.bottom_skips += 1
+                incoming = BOTTOM
+        stats.meets += 1
+        new = incoming if old is TOP else meet(old, incoming)
+        if new != old:
+            env[edge.key] = new
+            return True
+        return False

@@ -23,11 +23,24 @@ operand collapses the whole expression to ⊥ (except multiplication by a
 literal zero, which is 0 regardless). The paper observes that in practice
 polynomial jump functions stay small (§3.1.5); the ``MAX_NODES`` guard
 turns pathological growth into ⊥ rather than letting it slow the solver.
+
+Expressions are also **hash-consed**: the smart constructors intern every
+node in the process-wide :data:`INTERN_TABLE`, so structurally equal
+expressions built through them share identity across call sites, across
+procedures, and across analysis configurations. Identity sharing is what
+makes the sparse solver's evaluation memo (keyed on ``id(expr)`` plus the
+expression's support-slice of the environment) hit across sites, and it
+lets every node cache its ``size`` and ``support`` once at construction.
+The table's lifetime is the process (like
+:data:`repro.core.driver.GLOBAL_STAGE0_CACHE`); call
+:func:`clear_intern_table` to drop it. Equality stays structural, so
+expressions constructed directly (e.g. in tests) still compare equal to
+interned ones — they just don't share storage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Union
 
 from repro import semantics
@@ -38,13 +51,80 @@ EntryKey = Union[str, GlobalId]
 
 MAX_NODES = 200
 
+_EMPTY_SUPPORT: frozenset = frozenset()
+
+
+class InternTable:
+    """A hash-consing table for :class:`ValueExpr` nodes.
+
+    Keys are built by the smart constructors: constants and entry keys by
+    value (and value *class* — ``ConstExpr(True)`` must never unify with
+    ``ConstExpr(1)``), operator nodes by operator plus the identities of
+    their already-interned operands, which makes interning O(1) per node
+    instead of O(size). Operand identities stay valid because the table
+    holds the parent, the parent holds the operands, and entries are only
+    ever dropped all at once by :meth:`clear`.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._table: dict[object, ValueExpr] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, key: object) -> "ValueExpr | None":
+        expr = self._table.get(key)
+        if expr is not None:
+            self.hits += 1
+        return expr
+
+    def put(self, key: object, expr: "ValueExpr") -> "ValueExpr":
+        self.misses += 1
+        self._table[key] = expr
+        return expr
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "expr_intern_hits": self.hits,
+            "expr_intern_misses": self.misses,
+            "expr_intern_entries": len(self._table),
+        }
+
+
+#: The process-wide hash-consing table the smart constructors use.
+INTERN_TABLE = InternTable()
+
+
+def clear_intern_table() -> None:
+    """Drop every interned expression (counters survive)."""
+    INTERN_TABLE.clear()
+
+
+def intern_counters() -> dict[str, int]:
+    """Observability for the process-wide table (``--stats`` prints it)."""
+    return INTERN_TABLE.counters()
+
 
 class ValueExpr:
     """Base class; concrete kinds below. Immutable."""
 
+    __slots__ = ()
+
     def support(self) -> frozenset[EntryKey]:
         """The exact set of entry values this expression reads (paper §2)."""
-        return frozenset()
+        return _EMPTY_SUPPORT
+
+    def support_order(self) -> tuple[EntryKey, ...]:
+        """The support keys in first-use order — a deterministic tuple the
+        sparse engine uses to slice environments for memo keys."""
+        return ()
 
     def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
         """Evaluate over the lattice given entry-value approximations.
@@ -68,7 +148,7 @@ class ValueExpr:
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConstExpr(ValueExpr):
     """An integer or logical constant."""
 
@@ -85,7 +165,7 @@ class ConstExpr(ValueExpr):
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EntryExpr(ValueExpr):
     """The entry value of a formal parameter or global."""
 
@@ -94,6 +174,9 @@ class EntryExpr(ValueExpr):
     def support(self) -> frozenset[EntryKey]:
         return frozenset({self.key})
 
+    def support_order(self) -> tuple[EntryKey, ...]:
+        return (self.key,)
+
     def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
         return env.get(self.key, BOTTOM)
 
@@ -101,20 +184,41 @@ class EntryExpr(ValueExpr):
         return f"entry({self.key})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpExpr(ValueExpr):
     """``op`` applied to sub-expressions. ``arity`` tags the operator
-    family: 'bin', 'un', or 'intrinsic'."""
+    family: 'bin', 'un', or 'intrinsic'. Size and support are computed
+    once at construction (hash-consing makes every node long-lived and
+    shared, so the caches amortize across every consumer)."""
 
     op: str
     args: tuple[ValueExpr, ...]
     arity: str = "bin"
+    _size: int = field(default=1, init=False, repr=False, compare=False)
+    _support: frozenset = field(
+        default=_EMPTY_SUPPORT, init=False, repr=False, compare=False
+    )
+    _order: tuple = field(default=(), init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        size = 1
+        order: list[EntryKey] = []
+        seen: set[EntryKey] = set()
+        for arg in self.args:
+            size += arg.size
+            for key in arg.support_order():
+                if key not in seen:
+                    seen.add(key)
+                    order.append(key)
+        object.__setattr__(self, "_size", size)
+        object.__setattr__(self, "_order", tuple(order))
+        object.__setattr__(self, "_support", frozenset(order))
 
     def support(self) -> frozenset[EntryKey]:
-        keys: frozenset[EntryKey] = frozenset()
-        for arg in self.args:
-            keys |= arg.support()
-        return keys
+        return self._support
+
+    def support_order(self) -> tuple[EntryKey, ...]:
+        return self._order
 
     def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
         values = []
@@ -132,7 +236,7 @@ class OpExpr(ValueExpr):
 
     @property
     def size(self) -> int:
-        return 1 + sum(arg.size for arg in self.args)
+        return self._size
 
     def __str__(self) -> str:
         if self.arity == "bin":
@@ -145,6 +249,8 @@ class OpExpr(ValueExpr):
 
 class _BottomExpr(ValueExpr):
     """The unknown value. Singleton."""
+
+    __slots__ = ()
 
     _instance = None
 
@@ -193,11 +299,32 @@ def _fold(op: str, arity: str, values: list) -> LatticeValue:
 
 
 def const_expr(value: int | bool) -> ConstExpr:
-    return ConstExpr(value)
+    # value *class* is part of the key: True == 1 in Python, but the
+    # lattice (and FORTRAN) distinguish LOGICAL from INTEGER constants.
+    key = ("const", value.__class__, value)
+    cached = INTERN_TABLE.get(key)
+    if cached is None:
+        cached = INTERN_TABLE.put(key, ConstExpr(value))
+    return cached  # type: ignore[return-value]
 
 
 def entry_expr(key: EntryKey) -> EntryExpr:
-    return EntryExpr(key)
+    table_key = ("entry", key)
+    cached = INTERN_TABLE.get(table_key)
+    if cached is None:
+        cached = INTERN_TABLE.put(table_key, EntryExpr(key))
+    return cached  # type: ignore[return-value]
+
+
+def _op_expr(op: str, args: tuple[ValueExpr, ...], arity: str) -> ValueExpr:
+    """Intern an operator node. Operand *identities* key the table — after
+    bottom-up construction through the smart constructors every operand is
+    already interned, so identical identity tuples mean identical trees."""
+    key = ("op", op, arity, tuple(map(id, args)))
+    cached = INTERN_TABLE.get(key)
+    if cached is None:
+        cached = INTERN_TABLE.put(key, OpExpr(op, args, arity))
+    return cached
 
 
 def _is_zero(expr: ValueExpr) -> bool:
@@ -251,10 +378,9 @@ def make_binary(op: str, left: ValueExpr, right: ValueExpr) -> ValueExpr:
     elif op in ("/=", "<", ">"):
         if left == right:
             return const_expr(False)
-    result = OpExpr(op, (left, right), "bin")
-    if result.size > MAX_NODES:
+    if 1 + left.size + right.size > MAX_NODES:
         return BOTTOM_EXPR
-    return result
+    return _op_expr(op, (left, right), "bin")
 
 
 def make_unary(op: str, operand: ValueExpr) -> ValueExpr:
@@ -275,7 +401,7 @@ def make_unary(op: str, operand: ValueExpr) -> ValueExpr:
         and operand.op == "-"
     ):
         return operand.args[0]
-    return OpExpr(op, (operand,), "un")
+    return _op_expr(op, (operand,), "un")
 
 
 def make_intrinsic(name: str, args: list[ValueExpr]) -> ValueExpr:
@@ -286,10 +412,9 @@ def make_intrinsic(name: str, args: list[ValueExpr]) -> ValueExpr:
         if folded is BOTTOM:
             return BOTTOM_EXPR
         return const_expr(folded)  # type: ignore[arg-type]
-    result = OpExpr(name, tuple(args), "intrinsic")
-    if result.size > MAX_NODES:
+    if 1 + sum(arg.size for arg in args) > MAX_NODES:
         return BOTTOM_EXPR
-    return result
+    return _op_expr(name, tuple(args), "intrinsic")
 
 
 def substitute(expr: ValueExpr, bindings: Mapping[EntryKey, ValueExpr]) -> ValueExpr:

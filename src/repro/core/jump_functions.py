@@ -41,7 +41,7 @@ from repro.core.lattice import BOTTOM, LatticeValue, is_constant
 from repro.frontend.symbols import GlobalId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JumpFunction:
     """A forward jump function for one parameter at one call site.
 
@@ -57,6 +57,10 @@ class JumpFunction:
     @property
     def support(self) -> frozenset[EntryKey]:
         return self.expr.support()
+
+    def support_order(self) -> tuple[EntryKey, ...]:
+        """Support keys in the expression's deterministic first-use order."""
+        return self.expr.support_order()
 
     @property
     def cost(self) -> int:
@@ -103,7 +107,7 @@ def project(
     return JumpFunction(expr, kind)
 
 
-@dataclass
+@dataclass(slots=True)
 class CallSiteFunctions:
     """All forward jump functions for one call site."""
 

@@ -15,6 +15,16 @@ statistics distinguish ``pops`` (worklist extractions) from ``passes``
 (monotone sweeps in priority order) — the quantity the §3.1.5 cost
 analysis multiplies against per-pass jump-function evaluation cost.
 
+:func:`solve` is **sparse**: it drives the shared
+:class:`~repro.core.engine.DeltaEngine` so each procedure's call sites
+are evaluated once at first reach and thereafter only the jump functions
+whose support keys actually lowered are re-evaluated.
+:func:`solve_dense` keeps the original re-evaluate-everything algorithm
+as the reference implementation the sparse engine is cross-checked and
+benchmarked against — both compute the same greatest fixpoint, so their
+VAL sets (and therefore CONSTANTS sets and Table 2/3 counts) agree
+exactly.
+
 Because the lattice has bounded depth (each value lowers at most twice),
 the solver terminates after O(Σ |keys|) meets; the cost of each pass is
 the cost of the jump-function evaluations, exactly as analyzed in §3.1.5.
@@ -24,13 +34,14 @@ Procedures never reached from the main program keep ⊤ (paper §2).
 from __future__ import annotations
 
 import heapq
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.callgraph.graph import CallGraph
 from repro.core.builder import ForwardFunctions
+from repro.core.engine import DeltaEngine, entry_keys
 from repro.core.exprs import EntryKey
 from repro.core.lattice import BOTTOM, TOP, LatticeValue, is_constant, meet
-from repro.frontend.astnodes import Type
 from repro.frontend.symbols import GlobalId
 from repro.ir.lower import LoweredProgram
 
@@ -43,6 +54,16 @@ class SolveResult:
     re-evaluation each); ``passes`` counts completed monotone sweeps over
     the reverse-postorder schedule — a new pass begins whenever the solver
     pops a node that does not extend the current ascending run.
+
+    ``evaluations`` counts jump-function expression evaluations actually
+    performed — the quantity the §3.1.5 cost model charges a pass.
+    The sparse engine's avoidance shows up in its own counters:
+    ``skipped`` (callee keys with no jump function, killed without
+    evaluating anything), ``deltas`` (changed-entry-key events
+    propagated), ``memo_hits``/``memo_misses`` (identity-keyed evaluation
+    memo), and ``bottom_skips`` (⊥ jump functions contributing their one
+    ⊥ without evaluation, plus bindings already at ⊥ left untouched).
+    The dense reference solver leaves the engine-only counters at zero.
     """
 
     val: dict[str, dict[EntryKey, LatticeValue]] = field(default_factory=dict)
@@ -51,6 +72,11 @@ class SolveResult:
     pops: int = 0
     evaluations: int = 0
     meets: int = 0
+    deltas: int = 0
+    skipped: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    bottom_skips: int = 0
 
     def constants(self, proc: str) -> dict[EntryKey, LatticeValue]:
         """CONSTANTS(p): the entry keys proven constant (paper §2)."""
@@ -70,28 +96,29 @@ class SolveResult:
             "pops": self.pops,
             "evaluations": self.evaluations,
             "meets": self.meets,
+            "deltas": self.deltas,
+            "skipped": self.skipped,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "bottom_skips": self.bottom_skips,
         }
 
 
 def initial_val(lowered: LoweredProgram) -> dict[str, dict[EntryKey, LatticeValue]]:
-    """⊤ everywhere, except the main program's entry environment."""
-    scalar_gids = [
-        gid
-        for gid, gvar in lowered.program.globals.items()
-        if not gvar.is_array and gvar.type in (Type.INTEGER, Type.LOGICAL)
-    ]
-    val: dict[str, dict[EntryKey, LatticeValue]] = {}
-    for name, lowered_proc in lowered.procedures.items():
-        env: dict[EntryKey, LatticeValue] = {}
-        for formal in lowered_proc.procedure.formals:
-            if not formal.is_array and formal.type in (Type.INTEGER, Type.LOGICAL):
-                env[formal.name] = TOP
-        for gid in scalar_gids:
-            env[gid] = TOP
-        val[name] = env
+    """⊤ everywhere, except the main program's entry environment.
 
+    The key sets come from :func:`repro.core.engine.entry_keys`, the same
+    enumeration the support-dependency index is built over — VAL and the
+    index can never disagree about which bindings exist.
+    """
+    val: dict[str, dict[EntryKey, LatticeValue]] = {
+        name: {key: TOP for key in keys}
+        for name, keys in entry_keys(lowered).items()
+    }
     main_env = val[lowered.program.main]
-    for gid in scalar_gids:
+    for gid in list(main_env):
+        if not isinstance(gid, GlobalId):
+            continue
         data = lowered.program.globals[gid].data_value
         if isinstance(data, bool) or isinstance(data, int):
             main_env[gid] = data
@@ -161,7 +188,53 @@ def solve(
     graph: CallGraph,
     forward: ForwardFunctions,
 ) -> SolveResult:
-    """Run the priority-worklist propagation to a fixpoint."""
+    """Sparse delta-driven propagation to a fixpoint (procedure-grained).
+
+    Pops follow the same reverse-postorder priority schedule as the dense
+    reference, but a popped procedure only evaluates (a) every jump
+    function at its sites, once, when first reached, or (b) the jump
+    functions whose support keys lowered since its last visit.
+    """
+    result = SolveResult(val=initial_val(lowered))
+    engine = DeltaEngine(forward.support_index(lowered), result.val, result)
+
+    worklist = _PriorityWorklist(graph.rpo_index())
+    main = lowered.program.main
+    worklist.push(main, main)
+    #: procedure -> entry keys that lowered since its last visit
+    #: (insertion-ordered so counter totals are run-to-run deterministic).
+    pending: dict[str, dict[EntryKey, None]] = defaultdict(dict)
+    seeded: set[str] = set()
+    while worklist:
+        caller = worklist.pop()
+        result.reached.add(caller)
+        if caller not in seeded:
+            seeded.add(caller)
+            pending.pop(caller, None)  # the seed evaluates everything
+            changed = engine.seed(caller)
+        else:
+            deltas = pending.pop(caller, None)
+            changed = engine.apply_deltas(caller, deltas) if deltas else {}
+        for callee, keys in changed.items():
+            pending[callee].update(keys)
+            worklist.push(callee, callee)
+        for callee in engine.callees(caller):
+            if callee not in seeded:
+                worklist.push(callee, callee)  # reach even without deltas
+    result.passes = worklist.passes
+    result.pops = worklist.pops
+    return result
+
+
+def solve_dense(
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    forward: ForwardFunctions,
+) -> SolveResult:
+    """The dense reference solver: re-evaluate every jump function at
+    every site of a popped caller. Kept as the oracle the sparse engine
+    is cross-checked against and the baseline it is benchmarked against.
+    """
     result = SolveResult(val=initial_val(lowered))
     val = result.val
 
@@ -179,11 +252,15 @@ def solve(
             changed = False
             for key in callee_env:
                 function = site.function_for(key)
-                result.evaluations += 1
-                incoming = function.evaluate(env) if function is not None else BOTTOM
+                if function is None:
+                    result.skipped += 1  # nothing to evaluate: key is killed
+                    incoming: LatticeValue = BOTTOM
+                else:
+                    result.evaluations += 1
+                    incoming = function.evaluate(env)
                 result.meets += 1
                 lowered_value = meet(callee_env[key], incoming)
-                if lowered_value is not callee_env[key] and lowered_value != callee_env[key]:
+                if lowered_value != callee_env[key]:
                     callee_env[key] = lowered_value
                     changed = True
             if changed or callee_name not in result.reached:

@@ -59,13 +59,36 @@ class SymbolKind(enum.Enum):
 
 @dataclass(frozen=True)
 class GlobalId:
-    """Program-wide identity of a COMMON-block member: block name + slot."""
+    """Program-wide identity of a COMMON-block member: block name + slot.
+
+    GlobalIds key every entry environment and support index, so the hash
+    is computed once and cached — the generated dataclass ``__hash__``
+    would rebuild and rehash a ``(block, offset)`` tuple on every dict
+    operation in the propagation hot loops.
+    """
 
     block: str
     offset: int
 
     def __str__(self) -> str:
         return f"/{self.block}/[{self.offset}]"
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.block, self.offset))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    # str hashes are salted per process: never serialize the cache
+    # (GlobalIds cross process boundaries in sweep_programs).
+    def __getstate__(self):
+        return (self.block, self.offset)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "block", state[0])
+        object.__setattr__(self, "offset", state[1])
 
 
 @dataclass(eq=False)

@@ -113,8 +113,32 @@ end
         assert result.solved.pops >= 2
         assert result.solved.passes >= 1
         assert result.solved.passes <= result.solved.pops
+        # the literal jump function folds at index build (§3.1.5 charges
+        # construction, not per-pass evaluation): it is transferred by
+        # meet alone and never counted as a solve-time evaluation
+        assert result.solved.evaluations == 0
+        assert result.solved.meets >= 1
+        assert result.solved.meets >= result.solved.evaluations
+
+    def test_pass_through_counts_evaluation(self):
+        # a pass-through jump function genuinely reads the caller's
+        # environment at solve time, so it *is* an evaluation
+        source = """
+program m
+  call t(1)
+end
+subroutine t(x)
+  integer x
+  call s(x)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+"""
+        result = analyze(source)
         assert result.solved.evaluations >= 1
-        assert result.solved.meets == result.solved.evaluations
+        assert result.solved.val["s"]["a"] == 1
 
     def test_self_loop_terminates(self):
         source = """
@@ -212,7 +236,17 @@ end
         counters = result.solved.counters()
         assert counters["pops"] == result.solved.pops
         assert counters["passes"] == result.solved.passes
-        assert set(counters) == {"passes", "pops", "evaluations", "meets"}
+        assert set(counters) == {
+            "passes",
+            "pops",
+            "evaluations",
+            "meets",
+            "deltas",
+            "skipped",
+            "memo_hits",
+            "memo_misses",
+            "bottom_skips",
+        }
 
 
 class TestBaselineVal:

@@ -1,0 +1,30 @@
+program findings
+  integer n, m
+  common /state/ total, spare
+  integer total, spare
+  n = 4
+  m = 7
+  call swap(n, n)
+  call accum(m, n)
+  total = total + m
+  write total
+end
+
+subroutine swap(a, b)
+  integer a, b, t
+  t = a
+  a = b
+  b = t
+end
+
+subroutine accum(x, pad)
+  integer x, pad
+  common /state/ sum, unused
+  integer sum, unused
+  sum = sum + x
+end
+
+subroutine helper(q)
+  integer q
+  q = q + 1
+end

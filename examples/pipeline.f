@@ -1,0 +1,30 @@
+program demo
+  integer n, m
+  common /cfg/ gmax
+  integer gmax
+  call setup
+  n = 10
+  m = n * 2 + 1
+  call smooth(n, m)
+  call smooth(n, m)
+end
+
+subroutine setup
+  common /cfg/ g
+  integer g
+  g = 100
+end
+
+subroutine smooth(k, j)
+  integer k, j, i, acc
+  common /cfg/ lim
+  integer lim
+  acc = 0
+  do i = 1, k
+    acc = acc + j
+  enddo
+  if (acc > lim) then
+    acc = lim
+  endif
+  write acc
+end

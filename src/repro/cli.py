@@ -4,6 +4,7 @@ Commands
 --------
 analyze   run the analyzer over a MiniFortran file, print CONSTANTS sets
 run       execute a file under the reference interpreter
+lint      run the diagnostics passes; text, JSON, or SARIF output
 tables    regenerate the paper's tables and Figure 1
 workload  print (or save) one generated suite program
 clone     one goal-directed cloning round over a file
@@ -53,12 +54,40 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--stats", action="store_true",
                              help="print per-stage timings, solver counters, "
                                   "and stage-0 cache state")
+    analyze_cmd.add_argument("--verify", action="store_true",
+                             help="validate IR and SSA invariants after "
+                                  "lowering; non-zero exit on a violation")
 
     run_cmd = sub.add_parser("run", help="execute a file")
     run_cmd.add_argument("file")
     run_cmd.add_argument("--input", type=int, action="append", default=[],
                          help="value for the next READ (repeatable)")
     run_cmd.add_argument("--max-steps", type=int, default=2_000_000)
+    run_cmd.add_argument("--check", action="store_true",
+                         help="cross-check CONSTANTS claims against the "
+                              "observed execution (soundness probe)")
+
+    lint_cmd = sub.add_parser(
+        "lint", help="run the diagnostics passes over programs"
+    )
+    lint_cmd.add_argument("files", nargs="*",
+                          help="MiniFortran source files to lint")
+    lint_cmd.add_argument("--workloads", action="store_true",
+                          help="also lint every generated workload program")
+    lint_cmd.add_argument("--scale", type=float, default=1.0,
+                          help="workload scale factor (with --workloads)")
+    lint_cmd.add_argument("--format", choices=["text", "json", "sarif"],
+                          default="text")
+    lint_cmd.add_argument("--select", action="append", default=None,
+                          metavar="PASS",
+                          help="run exactly the named pass (repeatable)")
+    lint_cmd.add_argument("--sanitize", action="store_true",
+                          help="enable the lattice sanitizer (re-solves "
+                               "each program with invariant checking)")
+    lint_cmd.add_argument("--list-passes", action="store_true",
+                          help="list the registered passes and exit")
+    lint_cmd.add_argument("-o", "--output", default=None,
+                          help="write the report to a file instead of stdout")
 
     tables_cmd = sub.add_parser("tables", help="regenerate the paper tables")
     tables_cmd.add_argument(
@@ -98,6 +127,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         source = handle.read()
     result = analyze(source, _config_from(args))
+    if args.verify:
+        from repro.diagnostics import LintContext, run_passes
+
+        report = run_passes(
+            LintContext(result, path=args.file), select=["ir-wellformed"]
+        )
+        if report.diagnostics:
+            for diag in report.diagnostics:
+                print(diag.format_text(), file=sys.stderr)
+            if report.has_errors:
+                return 1
+        else:
+            print("verify: IR and SSA invariants hold", file=sys.stderr)
     print(f"configuration: {result.config.describe()}")
     print(f"constants substituted (pairs): {result.constants_found}")
     print(f"references replaced:           {result.references_substituted}")
@@ -132,7 +174,101 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for value in trace.outputs:
         print(value)
     print(f"({trace.steps} steps)", file=sys.stderr)
+    if args.check:
+        from repro.interp.soundness import soundness_diagnostics
+
+        result = analyze(source)
+        diagnostics = soundness_diagnostics(result, trace)
+        for diag in diagnostics:
+            print(diag.format_text(), file=sys.stderr)
+        if diagnostics:
+            return 1
+        print("check: CONSTANTS claims hold on this execution",
+              file=sys.stderr)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.diagnostics import (
+        Diagnostic,
+        LintReport,
+        Severity,
+        default_registry,
+        describe_code,
+        run_passes,
+    )
+    from repro.diagnostics.emit import EMITTERS
+    from repro.frontend.source import SourceSpan
+
+    registry = default_registry()
+    if args.list_passes:
+        for pass_ in registry.passes():
+            marker = "" if pass_.default_enabled else " (opt-in)"
+            print(f"{pass_.name:24} {pass_.code:7} "
+                  f"{pass_.description}{marker}")
+        return 0
+
+    targets: list[tuple[str, str]] = []
+    for path in args.files:
+        with open(path) as handle:
+            targets.append((path, handle.read()))
+    if args.workloads:
+        from repro.workloads import load, suite_names
+
+        for name in suite_names():
+            workload = load(name, scale=args.scale)
+            targets.append((f"workload:{name}", workload.source))
+    if not targets:
+        print("lint: no input (pass files and/or --workloads)",
+              file=sys.stderr)
+        return 2
+
+    front_end_code = describe_code(
+        "RL000", "program rejected by the front end"
+    )
+    enable = ("lattice-sanitizer",) if args.sanitize else ()
+    reports = []
+    for label, source in targets:
+        try:
+            reports.append(
+                run_passes(
+                    source,
+                    registry=registry,
+                    select=args.select,
+                    enable=enable,
+                    path=label,
+                )
+            )
+        except FrontendError as error:
+            location = error.location
+            span = (
+                SourceSpan(location, location) if location is not None else None
+            )
+            reports.append(
+                LintReport(
+                    diagnostics=[
+                        Diagnostic(
+                            code=front_end_code,
+                            severity=Severity.ERROR,
+                            message=str(error),
+                            pass_name="frontend",
+                            span=span,
+                            path=label,
+                        )
+                    ]
+                )
+            )
+    report = LintReport.merged(reports)
+    rendered = EMITTERS[args.format](report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        counts = report.counts()
+        print(f"wrote {len(report.diagnostics)} finding(s) to {args.output} "
+              f"({counts['error']} error(s))", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 1 if report.has_errors else 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -201,6 +337,7 @@ def _cmd_clone(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "run": _cmd_run,
+    "lint": _cmd_lint,
     "tables": _cmd_tables,
     "workload": _cmd_workload,
     "clone": _cmd_clone,

@@ -34,10 +34,18 @@ def solve_binding_graph(
     lowered: LoweredProgram,
     graph: CallGraph,
     forward: ForwardFunctions,
+    *,
+    sanitizer=None,
 ) -> SolveResult:
-    """Propagate VAL sets over the binding multi-graph."""
+    """Propagate VAL sets over the binding multi-graph.
+
+    ``sanitizer`` is the same optional lattice-invariant observer
+    :func:`repro.core.solver.solve` accepts.
+    """
     result = SolveResult(val=initial_val(lowered))
-    engine = DeltaEngine(forward.support_index(lowered), result.val, result)
+    engine = DeltaEngine(
+        forward.support_index(lowered), result.val, result, sanitizer
+    )
     worklist = _PriorityWorklist(graph.rpo_index())
 
     # Reachability-driven seeding: when a procedure is first reached,

@@ -196,20 +196,30 @@ class DeltaEngine:
     identity for smart-constructor-built trees) and ``evaluate`` reads
     nothing outside the support slice; the value class rides along in the
     slice so a LOGICAL ``.true.`` never aliases an INTEGER ``1``.
+
+    ``sanitizer`` is the optional lattice-invariant observer (duck-typed
+    to :class:`repro.diagnostics.sanitizer.LatticeSanitizer`; the engine
+    deliberately does not import it): when attached, every transfer is
+    reported through ``observe_transfer(site_id, callee, key, incoming)``
+    and every VAL mutation — including seed-time kills — through
+    ``observe_update(proc, key, old, new)``. Detached (the default), the
+    hooks cost one ``is not None`` test per edge.
     """
 
-    __slots__ = ("_index", "_val", "_stats", "_memo")
+    __slots__ = ("_index", "_val", "_stats", "_memo", "_sanitizer")
 
     def __init__(
         self,
         index: SupportIndex,
         val: dict[str, dict[EntryKey, LatticeValue]],
         stats,
+        sanitizer=None,
     ):
         self._index = index
         self._val = val
         self._stats = stats
         self._memo: dict[tuple, LatticeValue] = {}
+        self._sanitizer = sanitizer
 
     def callees(self, caller: str) -> tuple[str, ...]:
         return self._index.callees.get(caller, ())
@@ -230,6 +240,7 @@ class DeltaEngine:
         """
         val = self._val
         caller_env = val[caller]
+        sanitizer = self._sanitizer
         changed: dict[str, dict[EntryKey, None]] = {}
         evaluations = meets = bottom_skips = 0
         for edge in self._index.seeds.get(caller, ()):
@@ -254,9 +265,13 @@ class DeltaEngine:
                     # contribution, applied without evaluation
                     bottom_skips += 1
                     incoming = BOTTOM
+            if sanitizer is not None:
+                sanitizer.observe_transfer(edge.site_id, callee, key, incoming)
             meets += 1
             new = incoming if old is TOP else meet(old, incoming)
             if new != old:
+                if sanitizer is not None:
+                    sanitizer.observe_update(callee, key, old, new)
                 env[key] = new
                 keys = changed.get(callee)
                 if keys is None:
@@ -269,9 +284,12 @@ class DeltaEngine:
         for callee, key in self._index.kills.get(caller, ()):
             stats.skipped += 1
             env = val[callee]
-            if env[key] is BOTTOM:
+            old = env[key]
+            if old is BOTTOM:
                 continue
             stats.meets += 1
+            if sanitizer is not None:
+                sanitizer.observe_update(callee, key, old, BOTTOM)
             env[key] = BOTTOM  # meet(old, ⊥) is ⊥ for every old
             keys = changed.get(callee)
             if keys is None:
@@ -356,9 +374,14 @@ class DeltaEngine:
                 # means no delta ever revisits it either
                 stats.bottom_skips += 1
                 incoming = BOTTOM
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.observe_transfer(edge.site_id, edge.callee, edge.key, incoming)
         stats.meets += 1
         new = incoming if old is TOP else meet(old, incoming)
         if new != old:
+            if sanitizer is not None:
+                sanitizer.observe_update(edge.callee, edge.key, old, new)
             env[edge.key] = new
             return True
         return False

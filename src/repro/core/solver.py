@@ -187,6 +187,8 @@ def solve(
     lowered: LoweredProgram,
     graph: CallGraph,
     forward: ForwardFunctions,
+    *,
+    sanitizer=None,
 ) -> SolveResult:
     """Sparse delta-driven propagation to a fixpoint (procedure-grained).
 
@@ -194,9 +196,16 @@ def solve(
     reference, but a popped procedure only evaluates (a) every jump
     function at its sites, once, when first reached, or (b) the jump
     functions whose support keys lowered since its last visit.
+
+    ``sanitizer`` (e.g. a
+    :class:`repro.diagnostics.sanitizer.LatticeSanitizer`) observes every
+    transfer and VAL update for lattice-invariant checking; ``None`` —
+    the default — solves at full speed.
     """
     result = SolveResult(val=initial_val(lowered))
-    engine = DeltaEngine(forward.support_index(lowered), result.val, result)
+    engine = DeltaEngine(
+        forward.support_index(lowered), result.val, result, sanitizer
+    )
 
     worklist = _PriorityWorklist(graph.rpo_index())
     main = lowered.program.main

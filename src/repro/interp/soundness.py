@@ -16,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.driver import AnalysisResult
+from repro.diagnostics.core import Diagnostic, Severity, describe_code
 from repro.interp.interpreter import ExecutionTrace
+
+CODE_UNSOUND_CONSTANT = describe_code(
+    "RL401", "CONSTANTS claim contradicted by an observed execution"
+)
 
 
 @dataclass(frozen=True)
@@ -33,6 +38,17 @@ class SoundnessViolation:
         return (
             f"{self.procedure}: claimed {self.key} = {self.claimed!r} but "
             f"invocation {self.invocation} observed {self.observed!r}"
+        )
+
+    def diagnostic(self) -> Diagnostic:
+        """The violation as the shared lint report type, so ``repro run
+        --check`` and ``repro lint`` speak one format."""
+        return Diagnostic(
+            code=CODE_UNSOUND_CONSTANT,
+            severity=Severity.ERROR,
+            message=str(self),
+            pass_name="soundness",
+            procedure=self.procedure,
         )
 
 
@@ -64,3 +80,10 @@ def check_soundness(
                         )
                     )
     return violations
+
+
+def soundness_diagnostics(
+    result: AnalysisResult, trace: ExecutionTrace
+) -> list[Diagnostic]:
+    """:func:`check_soundness`, reported as :class:`Diagnostic` objects."""
+    return [violation.diagnostic() for violation in check_soundness(result, trace)]

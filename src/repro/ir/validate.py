@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from repro.ir.cfg import ControlFlowGraph
 from repro.ir.instructions import (
+    Argument,
+    ArgumentKind,
     Call,
     CallKill,
     Phi,
@@ -132,6 +134,13 @@ def collect_problems(
                         )
                 if source is not None:
                     _check_span(operand, source, block_id, problems)
+            if source is not None and isinstance(instr, Call):
+                # Call.uses() yields the argument *value* operands; the
+                # Argument records carry their own spans (covering the
+                # whole actual, e.g. ``a(i)``) and need checking too —
+                # whole-array actuals have no value operand at all.
+                for arg in instr.args:
+                    _check_span(arg, source, block_id, problems)
 
     # predecessor consistency
     expected_preds: dict[int, set[int]] = {bid: set() for bid in cfg.blocks}
@@ -160,6 +169,25 @@ def collect_problems(
 
 
 def _check_span(operand, source: str, block_id: int, problems: list[str]) -> None:
+    if isinstance(operand, Argument):
+        if operand.symbol is None:
+            return  # by-value expression: no name to cover
+        span = operand.span
+        if span.start.offset == span.end.offset:
+            return  # synthesized argument
+        text = span.extract(source).lower()
+        name = operand.symbol.name
+        if operand.kind is ArgumentKind.ARRAY_ELEMENT:
+            # the span covers the whole actual, ``name(indices)``
+            if not text.startswith(name):
+                problems.append(
+                    f"B{block_id}: span of argument {name} covers {text!r}"
+                )
+        elif text != name:
+            problems.append(
+                f"B{block_id}: span of argument {name} covers {text!r}"
+            )
+        return
     if not isinstance(operand, (VarUse, SSAName)):
         return
     span = operand.span

@@ -225,3 +225,128 @@ end
         bindings = {binding for _, binding in effects(call)}
         assert ("formal", "a") in bindings
         assert ("global", GlobalId("c", 0)) in bindings
+
+
+class TestRecursion:
+    """MOD/REF must reach a fixpoint through recursive call cycles."""
+
+    def test_direct_recursion_propagates_effects(self):
+        source = """
+program main
+  integer n
+  n = 5
+  call f(n)
+end
+subroutine f(a)
+  integer a
+  if (a > 0) then
+    a = a - 1
+    call f(a)
+  endif
+end
+"""
+        info, _ = modref_of(source)
+        assert info.modifies_formal("f", "a")
+        assert info.references_formal("f", "a")
+
+    def test_mutual_recursion_carries_mod_around_the_cycle(self):
+        # g writes its formal directly; f only does so via the f→g edge,
+        # and g's recursive call back to f closes the cycle the solver
+        # must iterate through.
+        source = """
+program main
+  integer n
+  n = 3
+  call f(n)
+end
+subroutine f(a)
+  integer a
+  call g(a)
+end
+subroutine g(b)
+  integer b
+  if (b > 0) then
+    call f(b)
+  endif
+  b = 0
+end
+"""
+        info, _ = modref_of(source)
+        assert info.modifies_formal("g", "b")
+        assert info.modifies_formal("f", "a")
+        assert info.references_formal("g", "b")
+        assert info.references_formal("f", "a")
+
+
+class TestGlobalThroughTwoChains:
+    """One COMMON slot MOD'd via one call chain and REF'd via another:
+    both effects must surface in every caller on the respective chain."""
+
+    SRC = """
+program main
+  common /c/ g
+  integer g
+  call chainw
+  call chainr
+end
+subroutine chainw
+  call leafw
+end
+subroutine leafw
+  common /c/ w
+  integer w
+  w = 7
+end
+subroutine chainr
+  call leafr
+end
+subroutine leafr
+  common /c/ r
+  integer r
+  write r
+end
+"""
+
+    def test_effects_at_the_leaves(self):
+        info, _ = modref_of(self.SRC)
+        gid = GlobalId("c", 0)
+        assert info.modifies_global("leafw", gid)
+        assert not info.references_global("leafw", gid)
+        assert info.references_global("leafr", gid)
+        assert not info.modifies_global("leafr", gid)
+
+    def test_each_chain_carries_only_its_own_effect(self):
+        info, _ = modref_of(self.SRC)
+        gid = GlobalId("c", 0)
+        assert info.modifies_global("chainw", gid)
+        assert not info.references_global("chainw", gid)
+        assert info.references_global("chainr", gid)
+        assert not info.modifies_global("chainr", gid)
+
+    def test_main_sees_both_effects(self):
+        info, _ = modref_of(self.SRC)
+        gid = GlobalId("c", 0)
+        assert info.modifies_global("main", gid)
+        assert info.references_global("main", gid)
+
+
+class TestZeroFormals:
+    def test_procedure_with_no_formals(self):
+        source = """
+program main
+  common /c/ g
+  integer g
+  call setup
+  write g
+end
+subroutine setup
+  common /c/ x
+  integer x
+  x = 42
+end
+"""
+        info, lowered = modref_of(source)
+        assert lowered.procedure("setup").procedure.formals == []
+        assert info.mod_formals["setup"] == set()
+        assert info.ref_formals["setup"] == set()
+        assert info.modifies_global("setup", GlobalId("c", 0))

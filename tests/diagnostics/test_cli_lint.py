@@ -1,0 +1,152 @@
+"""CLI tests for ``repro lint``, ``analyze --verify``, and ``run --check``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+WARNING_ONLY = """
+program main
+  integer n, m
+  n = 1
+  m = 2
+  call s(n, m)
+  write n
+end
+subroutine s(a, pad)
+  integer a, pad
+  a = a + 1
+end
+"""
+
+ERRONEOUS = """
+program main
+  logical flag
+  flag = .true.
+  call s(flag)
+end
+subroutine s(a)
+  integer a
+  a = 1
+end
+"""
+
+CLEAN = """
+program main
+  integer n
+  n = 2
+  call s(n)
+  write n
+end
+subroutine s(a)
+  integer a
+  a = a * 2
+end
+"""
+
+
+@pytest.fixture
+def warn_file(tmp_path):
+    path = tmp_path / "warn.f"
+    path.write_text(WARNING_ONLY)
+    return str(path)
+
+
+@pytest.fixture
+def error_file(tmp_path):
+    path = tmp_path / "error.f"
+    path.write_text(ERRONEOUS)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.f"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestLint:
+    def test_warnings_exit_zero(self, warn_file, capsys):
+        assert main(["lint", warn_file]) == 0
+        out = capsys.readouterr().out
+        assert "RL121" in out
+        assert "warning" in out
+
+    def test_errors_exit_one(self, error_file, capsys):
+        assert main(["lint", error_file]) == 1
+        assert "RL104" in capsys.readouterr().out
+
+    def test_clean_file(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_json_format(self, warn_file, capsys):
+        assert main(["lint", warn_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["warning"] >= 1
+        assert all(d["path"] == warn_file for d in payload["diagnostics"])
+
+    def test_sarif_format(self, warn_file, capsys):
+        assert main(["lint", warn_file, "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+
+    def test_deterministic_output(self, warn_file, capsys):
+        main(["lint", warn_file, "--format", "sarif"])
+        first = capsys.readouterr().out
+        main(["lint", warn_file, "--format", "sarif"])
+        assert capsys.readouterr().out == first
+
+    def test_multiple_files_merge(self, warn_file, error_file, capsys):
+        assert main(["lint", warn_file, error_file]) == 1
+        out = capsys.readouterr().out
+        assert "RL121" in out and "RL104" in out
+
+    def test_select_runs_one_pass(self, warn_file, capsys):
+        assert main(["lint", warn_file, "--select", "unreachable-procedure"]) == 0
+        assert "RL121" not in capsys.readouterr().out
+
+    def test_sanitize_flag(self, clean_file, capsys):
+        assert main(["lint", clean_file, "--sanitize"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_list_passes(self, capsys):
+        assert main(["lint", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "lattice-sanitizer" in out
+        assert "(opt-in)" in out
+
+    def test_no_input_exit_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "no input" in capsys.readouterr().err
+
+    def test_parse_error_reported_as_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "broken.f"
+        path.write_text("program main\n  integer n\n  n = = 1\nend\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "RL000" in out
+
+    def test_output_file(self, warn_file, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main(["lint", warn_file, "--format", "json",
+                     "-o", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["summary"]["warning"] >= 1
+        assert "wrote" in capsys.readouterr().err
+
+
+class TestAnalyzeVerify:
+    def test_clean_program_verifies(self, clean_file, capsys):
+        assert main(["analyze", clean_file, "--verify"]) == 0
+        assert "invariants hold" in capsys.readouterr().err
+
+
+class TestRunCheck:
+    def test_sound_execution(self, clean_file, capsys):
+        assert main(["run", clean_file, "--check"]) == 0
+        assert "claims hold" in capsys.readouterr().err

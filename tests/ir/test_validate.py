@@ -142,3 +142,71 @@ end
             effects = make_call_effects(lowered, proc_name, modref)
             ssa = build_ssa(lowered.procedure(proc_name), effects)
             validate_cfg(ssa.cfg, ssa_form=True, source=workload.source)
+
+
+class TestArgumentSpans:
+    """_check_span must also cover call-argument operands: the Argument
+    records carry their own spans (whole-array actuals have no value
+    operand at all, so Call.uses() never surfaces them)."""
+
+    SRC = """
+program main
+  integer n
+  integer v(5)
+  n = 1
+  call s(n, v, v(2))
+end
+subroutine s(a, w, e)
+  integer a, e
+  integer w(5)
+  a = a + w(1) + e
+end
+"""
+
+    def _lowered(self):
+        lowered = lower_program(parse_program(self.SRC))
+        ensure_global_symbols(lowered)
+        return lowered
+
+    def test_lowered_spans_are_valid(self):
+        lowered = self._lowered()
+        validate_program(lowered)
+
+    def test_tampered_var_argument_span_detected(self):
+        lowered = self._lowered()
+        call = lowered.procedure("main").call_instrs[0]
+        bad = call.args[1].span  # covers "v", not "n"
+        call.args[0].span = bad
+        problems = collect_problems(
+            lowered.procedure("main").cfg, source=lowered.program.source
+        )
+        assert any("span of argument n" in p for p in problems)
+
+    def test_tampered_array_argument_span_detected(self):
+        lowered = self._lowered()
+        call = lowered.procedure("main").call_instrs[0]
+        call.args[1].span = call.args[0].span  # covers "n", not "v"
+        problems = collect_problems(
+            lowered.procedure("main").cfg, source=lowered.program.source
+        )
+        assert any("span of argument v" in p for p in problems)
+
+    def test_array_element_span_must_start_with_name(self):
+        lowered = self._lowered()
+        call = lowered.procedure("main").call_instrs[0]
+        call.args[2].span = call.args[0].span  # covers "n", not "v(2)"
+        problems = collect_problems(
+            lowered.procedure("main").cfg, source=lowered.program.source
+        )
+        assert any("span of argument v" in p for p in problems)
+
+    def test_synthesized_argument_span_skipped(self):
+        from repro.frontend.source import DUMMY_SPAN
+
+        lowered = self._lowered()
+        call = lowered.procedure("main").call_instrs[0]
+        call.args[0].span = DUMMY_SPAN
+        problems = collect_problems(
+            lowered.procedure("main").cfg, source=lowered.program.source
+        )
+        assert problems == []

@@ -1,0 +1,49 @@
+"""Resilience counters over the seed corpus.
+
+Sweeps the full workload suite through the fault-tolerant executor and
+records the counters the resilience layer can produce — degradations,
+failures, retries, quarantines. On a healthy seed every one of them is
+zero, and ``--bench-check`` holds ``degradations``/``failures`` to zero
+tolerance: any nonzero value means a budget or fault path fired where
+none was configured.
+"""
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.resilience.executor import SweepPolicy, run_sweep
+from repro.workloads import load, suite_names
+
+CONFIGS = {
+    "literal": AnalysisConfig(jump_function=JumpFunctionKind.LITERAL),
+    "pass_through": AnalysisConfig(),
+    "polynomial": AnalysisConfig(jump_function=JumpFunctionKind.POLYNOMIAL),
+}
+
+
+def test_resilient_sweep_is_clean_on_seed(benchmark, reporter, bench_counters):
+    sources = {name: load(name).source for name in suite_names()}
+    outcome = benchmark.pedantic(
+        lambda: run_sweep(sources, CONFIGS, SweepPolicy()),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.complete
+    bench_counters.update(
+        {
+            "degradations": outcome.degradation_count(),
+            "failures": len(outcome.failures),
+            "quarantined": len(outcome.quarantined),
+            "retries": outcome.retries,
+            "cells": outcome.executed_cells,
+        }
+    )
+    lines = [
+        f"programs swept     {len(sources)}",
+        f"cells executed     {outcome.executed_cells}",
+        f"degradations       {outcome.degradation_count()}",
+        f"failures           {len(outcome.failures)}",
+        f"quarantined        {len(outcome.quarantined)}",
+        f"retries            {outcome.retries}",
+    ]
+    reporter("Resilient sweep over seed corpus", "\n".join(lines))
+    assert outcome.degradation_count() == 0
+    assert not outcome.failures

@@ -15,9 +15,15 @@ output.
 ``--bench-check`` turns the committed ``BENCH_results.json`` into a
 regression gate: each benchmark's *work counters* (``evaluations`` and
 ``meets`` — deterministic, unlike wall-clock) are compared against the
-committed baseline and the run fails if any grew more than 10%. In check
-mode the results file is left untouched, so the baseline survives the
-comparison it anchors.
+committed baseline and the run fails if any grew more than 10%. The
+resilience counters (``degradations`` and ``failures``) are gated at
+zero tolerance — the seed corpus must sweep clean, so any nonzero value
+is a regression regardless of baseline. In check mode the results file
+is left untouched, so the baseline survives the comparison it anchors.
+
+Partial runs (a single benchmark file, ``-k`` selections) merge into the
+committed results by nodeid instead of replacing the whole file, so
+regenerating one baseline entry never erases the others.
 """
 
 import json
@@ -31,6 +37,10 @@ RESULTS_FILENAME = "BENCH_results.json"
 #: counters gated by --bench-check: deterministic work measures only.
 REGRESSION_KEYS = ("evaluations", "meets")
 REGRESSION_TOLERANCE = 0.10
+
+#: counters that must be exactly zero on the seed corpus: a healthy
+#: sweep neither degrades nor fails, so there is no tolerance to give.
+ZERO_KEYS = ("degradations", "failures")
 
 #: test nodeid -> record written to BENCH_results.json.
 _records: dict[str, dict] = {}
@@ -87,10 +97,15 @@ def bench_counters(request):
     record["counters"] = {key: value for key, value in counters.items()}
     if not request.config.getoption("bench_check"):
         return
+    regressions = [
+        f"{key}: expected 0, got {counters[key]} (zero tolerance)"
+        for key in ZERO_KEYS
+        if counters.get(key)
+    ]
     baseline = _baseline_counters(request.config).get(request.node.nodeid)
-    if not baseline:
+    if not baseline and not regressions:
         return  # new benchmark: nothing committed to regress against
-    regressions = []
+    baseline = baseline or {}
     for key in REGRESSION_KEYS:
         old = baseline.get(key)
         new = counters.get(key)
@@ -126,6 +141,19 @@ def pytest_sessionfinish(session, exitstatus):
     if session.config.getoption("bench_check"):
         _records.clear()  # check mode never rewrites its own baseline
         return
+    # merge by nodeid: a partial run refreshes only the entries it
+    # actually executed, leaving the rest of the committed baseline alone
+    path = session.config.rootpath / RESULTS_FILENAME
+    merged: dict[str, dict] = {}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+        for entry in previous.get("benchmarks", []):
+            entry = dict(entry)
+            merged[entry.pop("nodeid")] = entry
+    merged.update(_records)
     payload = {
         "schema": 1,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -134,9 +162,8 @@ def pytest_sessionfinish(session, exitstatus):
         "exitstatus": int(exitstatus),
         "benchmarks": [
             {"nodeid": nodeid, **record}
-            for nodeid, record in sorted(_records.items())
+            for nodeid, record in sorted(merged.items())
         ],
     }
-    path = session.config.rootpath / RESULTS_FILENAME
     path.write_text(json.dumps(payload, indent=2) + "\n")
     _records.clear()

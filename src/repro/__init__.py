@@ -25,6 +25,10 @@ Package map:
 - :mod:`repro.reporting` — Table 1/2/3 regeneration
 """
 
+# Before the subpackage imports: submodules deep in the tree (e.g. the
+# diagnostics emitters) read it while this module is still initializing.
+__version__ = "1.0.0"
+
 from repro.core.config import AnalysisConfig, JumpFunctionKind
 from repro.core.driver import (
     GLOBAL_STAGE0_CACHE,
@@ -32,6 +36,7 @@ from repro.core.driver import (
     Analyzer,
     Stage0Artifacts,
     Stage0Cache,
+    SweepError,
     SweepSummary,
     analyze,
     build_stage0,
@@ -39,18 +44,30 @@ from repro.core.driver import (
 )
 from repro.core.lattice import BOTTOM, TOP, is_constant, meet
 from repro.frontend.symbols import parse_program
-
-__version__ = "1.0.0"
+from repro.resilience import (
+    ChaosSpec,
+    FailureRecord,
+    Fault,
+    SweepOutcome,
+    SweepPolicy,
+    run_sweep,
+)
 
 __all__ = [
     "AnalysisConfig",
     "AnalysisResult",
     "Analyzer",
     "BOTTOM",
+    "ChaosSpec",
+    "FailureRecord",
+    "Fault",
     "GLOBAL_STAGE0_CACHE",
     "JumpFunctionKind",
     "Stage0Artifacts",
     "Stage0Cache",
+    "SweepError",
+    "SweepOutcome",
+    "SweepPolicy",
     "SweepSummary",
     "TOP",
     "analyze",
@@ -58,6 +75,7 @@ __all__ = [
     "is_constant",
     "meet",
     "parse_program",
+    "run_sweep",
     "sweep_programs",
     "__version__",
 ]

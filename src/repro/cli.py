@@ -28,6 +28,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "Grove & Torczon, PLDI 1993"
         ),
     )
+    parser.add_argument(
+        "--traceback", action="store_true",
+        help="print full tracebacks instead of one-line typed errors",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze_cmd = sub.add_parser("analyze", help="analyze a MiniFortran file")
@@ -57,6 +61,21 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--verify", action="store_true",
                              help="validate IR and SSA invariants after "
                                   "lowering; non-zero exit on a violation")
+    analyze_cmd.add_argument("--max-passes", type=int, default=None,
+                             metavar="N",
+                             help="solver fuel: cap monotone worklist "
+                                  "passes (degrades the jump function "
+                                  "instead of failing)")
+    analyze_cmd.add_argument("--max-evaluations", type=int, default=None,
+                             metavar="N",
+                             help="solver fuel: cap jump-function "
+                                  "evaluations")
+    analyze_cmd.add_argument("--max-meets", type=int, default=None,
+                             metavar="N",
+                             help="solver fuel: cap lattice meets")
+    analyze_cmd.add_argument("--no-degrade", action="store_true",
+                             help="fail on budget exhaustion instead of "
+                                  "walking the degradation ladder")
 
     run_cmd = sub.add_parser("run", help="execute a file")
     run_cmd.add_argument("file")
@@ -98,6 +117,22 @@ def _build_parser() -> argparse.ArgumentParser:
     tables_cmd.add_argument("--processes", type=int, default=None,
                             help="fan the table sweeps across N worker "
                                  "processes (default: in-process)")
+    tables_cmd.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-task wall-clock budget (needs "
+                                 "--processes; a hung program becomes a "
+                                 "timeout record, not a hung run)")
+    tables_cmd.add_argument("--retries", type=int, default=2,
+                            help="re-attempts per failing program before "
+                                 "it is quarantined (default: 2)")
+    tables_cmd.add_argument("--journal", default=None, metavar="PATH",
+                            help="JSONL checkpoint journal; an interrupted "
+                                 "sweep resumes from completed cells "
+                                 "(written per table as PATH.table2/.table3)")
+    tables_cmd.add_argument("--stats", action="store_true",
+                            help="print executor statistics: executed vs "
+                                 "resumed cells, retries, per-worker "
+                                 "stage-0 cache counters")
 
     workload_cmd = sub.add_parser("workload", help="emit a suite program")
     workload_cmd.add_argument("name")
@@ -120,6 +155,10 @@ def _config_from(args: argparse.Namespace) -> AnalysisConfig:
         complete=args.complete,
         intraprocedural_only=args.intraprocedural,
         compose_return_functions=args.compose,
+        max_solver_passes=args.max_passes,
+        max_evaluations=args.max_evaluations,
+        max_meets=args.max_meets,
+        degrade_on_budget=not args.no_degrade,
     )
 
 
@@ -141,6 +180,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         else:
             print("verify: IR and SSA invariants hold", file=sys.stderr)
     print(f"configuration: {result.config.describe()}")
+    for diag in result.resilience_diagnostics():
+        # RL5xx: the run degraded to stay alive — never report silently
+        print(diag.format_text(), file=sys.stderr)
     print(f"constants substituted (pairs): {result.constants_found}")
     print(f"references replaced:           {result.references_substituted}")
     print()
@@ -271,10 +313,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.has_errors else 0
 
 
+def _tables_policy(args: argparse.Namespace, table: str):
+    from repro.resilience.executor import SweepPolicy
+
+    journal = f"{args.journal}.{table}" if args.journal else None
+    return SweepPolicy(
+        processes=args.processes,
+        task_timeout=args.timeout,
+        max_retries=args.retries,
+        journal_path=journal,
+    )
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     from repro import reporting
 
     which = args.which
+    outcomes = {}
     if which in ("fig1", "all"):
         print(reporting.figure1_meet_table())
         print()
@@ -282,16 +337,32 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         print(reporting.format_table1(reporting.run_table1(args.scale)))
         print()
     if which in ("2", "all"):
-        print(reporting.format_table2(
-            reporting.run_table2(args.scale, args.processes)))
+        rows, outcome = reporting.run_table2_outcome(
+            args.scale, _tables_policy(args, "table2"))
+        outcomes["table2"] = outcome
+        print(reporting.format_table2(rows, outcome))
         print()
     if which in ("3", "all"):
-        print(reporting.format_table3(
-            reporting.run_table3(args.scale, args.processes)))
+        rows, outcome = reporting.run_table3_outcome(
+            args.scale, _tables_policy(args, "table3"))
+        outcomes["table3"] = outcome
+        print(reporting.format_table3(rows, outcome))
         print()
     if which in ("costs", "all"):
         print(reporting.format_cost_report(reporting.run_cost_report(args.scale)))
-    return 0
+    if args.stats and outcomes:
+        for label, outcome in outcomes.items():
+            print(f"{label}: executed {outcome.executed_cells} cell(s), "
+                  f"resumed {outcome.resumed_cells} from journal, "
+                  f"{outcome.retries} retried task(s)", file=sys.stderr)
+            counters = ", ".join(
+                f"{key}={value}"
+                for key, value in outcome.cache_counters.items()
+            )
+            print(f"{label}: stage-0 cache (per-worker deltas): {counters}",
+                  file=sys.stderr)
+    # partial tables still render, but the exit code says so
+    return 0 if all(o.complete for o in outcomes.values()) else 1
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
@@ -348,11 +419,14 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except FrontendError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
+    except Exception as error:
+        # One-line typed error (stage + span + message) by default;
+        # --traceback opts back into the raw stack for debugging.
+        if args.traceback:
+            raise
+        from repro.resilience.errors import format_cli_error
+
+        print(format_cli_error(error), file=sys.stderr)
         return 1
 
 

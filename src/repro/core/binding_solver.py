@@ -36,15 +36,16 @@ def solve_binding_graph(
     forward: ForwardFunctions,
     *,
     sanitizer=None,
+    budget=None,
 ) -> SolveResult:
     """Propagate VAL sets over the binding multi-graph.
 
-    ``sanitizer`` is the same optional lattice-invariant observer
-    :func:`repro.core.solver.solve` accepts.
+    ``sanitizer`` and ``budget`` are the same optional lattice-invariant
+    observer and solver fuel :func:`repro.core.solver.solve` accepts.
     """
     result = SolveResult(val=initial_val(lowered))
     engine = DeltaEngine(
-        forward.support_index(lowered), result.val, result, sanitizer
+        forward.support_index(lowered), result.val, result, sanitizer, budget
     )
     worklist = _PriorityWorklist(graph.rpo_index())
 
@@ -66,6 +67,8 @@ def solve_binding_graph(
     # drained in reverse-postorder priority of the binding's procedure.
     while worklist:
         proc, key = worklist.pop()
+        if budget is not None:
+            budget.check_passes(worklist.passes)
         for callee, lowered_keys in engine.apply_deltas(proc, (key,)).items():
             for lowered_key in lowered_keys:
                 worklist.push((callee, lowered_key), callee)

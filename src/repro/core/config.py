@@ -14,6 +14,16 @@ propagation between procedures at all, MOD still honoured at call sites.
 ``compose_return_functions`` is an *extension* beyond the paper: return
 jump functions are composed symbolically with the caller's expressions
 instead of being evaluated with constant-only arguments.
+
+The ``max_*`` fields are the resource budgets of the resilient execution
+layer (DESIGN.md §7): caps on solver passes, jump-function evaluations,
+and lattice meets. ``None`` (the default) is unlimited and costs nothing.
+When a cap is hit, ``degrade_on_budget`` walks the jump-function
+degradation ladder (polynomial → pass-through → intraprocedural →
+literal, then the intraprocedural-baseline floor) instead of failing;
+``solver_fallback`` retries a *crashed* sparse solve with the dense
+reference solver. Both downgrades are recorded on the result and
+surfaced as RL5xx diagnostics — never silent.
 """
 
 from __future__ import annotations
@@ -48,6 +58,14 @@ class AnalysisConfig:
     intraprocedural_only: bool = False
     compose_return_functions: bool = False
     max_complete_rounds: int = 5
+    #: solver fuel (resilience layer): None = unlimited.
+    max_solver_passes: int | None = None
+    max_evaluations: int | None = None
+    max_meets: int | None = None
+    #: walk the jump-function ladder on budget exhaustion (vs. raise).
+    degrade_on_budget: bool = True
+    #: retry a crashed sparse solve with the dense reference solver.
+    solver_fallback: bool = True
 
     def describe(self) -> str:
         parts = [self.jump_function.value]
@@ -59,6 +77,17 @@ class AnalysisConfig:
             parts.append("intraprocedural-only")
         if self.compose_return_functions:
             parts.append("composed")
+        budgets = [
+            f"{label}={cap}"
+            for label, cap in (
+                ("passes", self.max_solver_passes),
+                ("evals", self.max_evaluations),
+                ("meets", self.max_meets),
+            )
+            if cap is not None
+        ]
+        if budgets:
+            parts.append("budget[" + ",".join(budgets) + "]")
         return "+".join(parts)
 
 

@@ -35,19 +35,18 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.ssa import SSAProcedure, build_ssa, ensure_global_symbols
 from repro.callgraph.graph import CallGraph, build_call_graph
 from repro.callgraph.modref import ModRefInfo, compute_modref, make_call_effects
 from repro.core.builder import ForwardFunctions, build_forward_jump_functions
 from repro.core.complete import CompleteStats, run_complete_propagation
-from repro.core.config import AnalysisConfig
+from repro.core.config import AnalysisConfig, JumpFunctionKind
 from repro.core.exprs import intern_counters
 from repro.core.lattice import LatticeValue
 from repro.core.returns import ReturnFunctionResult, build_return_jump_functions
-from repro.core.solver import SolveResult, bottom_val, solve
+from repro.core.solver import SolveResult, bottom_val, solve, solve_dense
 from repro.core.substitute import (
     SubstitutionReport,
     compute_substitutions,
@@ -55,6 +54,16 @@ from repro.core.substitute import (
 )
 from repro.frontend.symbols import Program, parse_program
 from repro.ir.lower import LoweredProgram, lower_program
+from repro.resilience.budgets import SolveBudget
+from repro.resilience.chaos import chaos_point, maybe_corrupt_stage0
+from repro.resilience.errors import (
+    CODE_DEGRADED_DENSE,
+    CODE_DEGRADED_FLOOR,
+    CODE_DEGRADED_LADDER,
+    BudgetExhaustedError,
+    DegradationRecord,
+    Stage,
+)
 
 
 # -- stage 0: configuration-independent artifacts ----------------------------
@@ -214,6 +223,9 @@ class AnalysisResult:
     timings: dict[str, float] = field(default_factory=dict)
     #: True when stage 0 came out of a :class:`Stage0Cache` hit.
     stage0_cached: bool = False
+    #: planned quality losses the resilience layer took (ladder steps,
+    #: sparse→dense fallback, baseline floor) — empty on a healthy run.
+    degradations: tuple[DegradationRecord, ...] = ()
 
     # -- the paper's numbers -------------------------------------------------
 
@@ -265,7 +277,65 @@ class AnalysisResult:
             lines.append(f"  {key} {value}")
         for key in sorted(extras):
             lines.append(f"  {key} {extras[key]:g}")
+        lines.append("resilience:")
+        lines.append(f"  degradations {len(self.degradations)}")
+        for record in self.degradations:
+            lines.append(f"  {record.describe()}")
         return "\n".join(lines)
+
+    def resilience_diagnostics(self):
+        """The RL5xx diagnostics for every degradation this run took
+        (rendered by ``repro analyze`` so downgrades are never silent)."""
+        return [record.diagnostic() for record in self.degradations]
+
+
+#: The degradation ladder (DESIGN.md §7): each rung is strictly cheaper
+#: than the one above it (§3.1.5 cost analysis), so a budget that one
+#: rung exhausts may still suffice for the next.
+_DEGRADATION_LADDER = (
+    JumpFunctionKind.POLYNOMIAL,
+    JumpFunctionKind.PASS_THROUGH,
+    JumpFunctionKind.INTRAPROCEDURAL,
+    JumpFunctionKind.LITERAL,
+)
+
+
+def _next_ladder_kind(kind: JumpFunctionKind) -> JumpFunctionKind | None:
+    index = _DEGRADATION_LADDER.index(kind)
+    if index + 1 < len(_DEGRADATION_LADDER):
+        return _DEGRADATION_LADDER[index + 1]
+    return None
+
+
+def _attempt_solve(
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    forward: ForwardFunctions,
+    config: AnalysisConfig,
+    budget: SolveBudget | None,
+    degradations: list[DegradationRecord],
+) -> SolveResult:
+    """Stage 3: the sparse solver, with the dense reference solver as a
+    crash fallback (RL511). Budget exhaustion is *not* a crash — it
+    propagates so the degradation ladder can pick a cheaper rung."""
+    try:
+        chaos_point(Stage.SOLVE, scope="sparse")
+        return solve(lowered, graph, forward, budget=budget)
+    except BudgetExhaustedError:
+        raise
+    except Exception as exc:
+        if not config.solver_fallback:
+            raise
+        degradations.append(
+            DegradationRecord(
+                code=CODE_DEGRADED_DENSE,
+                from_label="sparse",
+                to_label="dense",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        )
+        chaos_point(Stage.SOLVE, scope="dense")
+        return solve_dense(lowered, graph, forward, budget=budget)
 
 
 def _config_stages(
@@ -275,37 +345,88 @@ def _config_stages(
     config: AnalysisConfig,
     timings: dict[str, float],
     ssa_cache: SSACache | None = None,
+    degradations: list[DegradationRecord] | None = None,
 ) -> _Artifacts:
-    """Stages 1–3 for one configuration over prebuilt stage-0 artifacts."""
+    """Stages 1–3 for one configuration over prebuilt stage-0 artifacts.
+
+    When the solve exhausts its :class:`SolveBudget` and the
+    configuration allows degradation, the jump function walks one rung
+    down :data:`_DEGRADATION_LADDER` (stages 1–2 rebuilt for the cheaper
+    kind, RL510 recorded) and the solve retries with fresh fuel; below
+    the last rung VAL floors to the always-sound intraprocedural
+    baseline (RL512). Every step lands in ``degradations``.
+    """
+    if degradations is None:
+        degradations = []
     effective = config
     if config.intraprocedural_only and config.use_return_jump_functions:
         # The baseline is *purely* intraprocedural: no information crosses
         # procedure boundaries in either direction.
-        effective = AnalysisConfig(
-            jump_function=config.jump_function,
-            use_return_jump_functions=False,
-            use_mod=config.use_mod,
-            intraprocedural_only=True,
+        effective = replace(config, use_return_jump_functions=False)
+
+    budget = SolveBudget.from_config(config)
+    kind = effective.jump_function
+    while True:
+        current = (
+            effective
+            if kind is effective.jump_function
+            else replace(effective, jump_function=kind)
+        )
+        chaos_point(Stage.SSA)
+        start = time.perf_counter()
+        returns = build_return_jump_functions(
+            lowered, graph, modref, current, ssa_cache=ssa_cache
+        )
+        timings["returns"] = (
+            timings.get("returns", 0.0) + time.perf_counter() - start
         )
 
-    start = time.perf_counter()
-    returns = build_return_jump_functions(
-        lowered, graph, modref, effective, ssa_cache=ssa_cache
-    )
-    timings["returns"] = timings.get("returns", 0.0) + time.perf_counter() - start
+        chaos_point(Stage.JUMP_FUNCTIONS)
+        start = time.perf_counter()
+        forward = build_forward_jump_functions(
+            lowered, modref, returns, current, ssa_cache=ssa_cache
+        )
+        timings["forward"] = (
+            timings.get("forward", 0.0) + time.perf_counter() - start
+        )
 
-    start = time.perf_counter()
-    forward = build_forward_jump_functions(
-        lowered, modref, returns, effective, ssa_cache=ssa_cache
-    )
-    timings["forward"] = timings.get("forward", 0.0) + time.perf_counter() - start
-
-    start = time.perf_counter()
-    if effective.intraprocedural_only:
-        solved = _intraprocedural_solved(lowered)
-    else:
-        solved = solve(lowered, graph, forward)
-    timings["solve"] = timings.get("solve", 0.0) + time.perf_counter() - start
+        start = time.perf_counter()
+        try:
+            if current.intraprocedural_only:
+                solved = _intraprocedural_solved(lowered)
+            else:
+                solved = _attempt_solve(
+                    lowered, graph, forward, current, budget, degradations
+                )
+            break
+        except BudgetExhaustedError as exc:
+            if not config.degrade_on_budget:
+                raise
+            next_kind = _next_ladder_kind(kind)
+            if next_kind is None:
+                degradations.append(
+                    DegradationRecord(
+                        code=CODE_DEGRADED_FLOOR,
+                        from_label=kind.value,
+                        to_label="intraprocedural-baseline",
+                        counter=exc.counter,
+                    )
+                )
+                solved = _intraprocedural_solved(lowered)
+                break
+            degradations.append(
+                DegradationRecord(
+                    code=CODE_DEGRADED_LADDER,
+                    from_label=kind.value,
+                    to_label=next_kind.value,
+                    counter=exc.counter,
+                )
+            )
+            kind = next_kind
+        finally:
+            timings["solve"] = (
+                timings.get("solve", 0.0) + time.perf_counter() - start
+            )
 
     return _Artifacts(graph, modref, returns, forward, solved)
 
@@ -334,10 +455,13 @@ def analyze(
     """
     config = config or AnalysisConfig()
     program = parse_program(source) if isinstance(source, str) else source
+    chaos_point(Stage.FRONTEND)
     timings: dict[str, float] = {}
+    degradations: list[DegradationRecord] = []
 
     complete_stats: CompleteStats | None = None
     stage0_cached = False
+    chaos_point(Stage.LOWERING)
     if config.complete:
         # The DCE loop mutates the lowered program: give it a private
         # stage 0 and never publish the result to the cache.
@@ -355,6 +479,7 @@ def analyze(
             lambda lowered, graph, modref: _config_stages(
                 lowered, graph, modref, config, timings,
                 ssa_cache=SSACache(lowered, modref),
+                degradations=degradations,
             ),
             timings=timings,
         )
@@ -363,14 +488,19 @@ def analyze(
             hits_before = cache.hits
             stage0 = cache.get(program)
             stage0_cached = cache.hits > hits_before
+            # chaos corruption clobbers the live cache entry, exactly
+            # like a real poisoned cache would persist across fetches
+            maybe_corrupt_stage0(stage0)
         else:
             stage0 = build_stage0(program)
         timings.update(stage0.timings)
         artifacts = _config_stages(
             stage0.lowered, stage0.graph, stage0.modref, config, timings,
             ssa_cache=stage0.ssa_cache,
+            degradations=degradations,
         )
 
+    chaos_point(Stage.SUBSTITUTE)
     start = time.perf_counter()
     substitutions = compute_substitutions(artifacts.forward, artifacts.solved)
     timings["record"] = time.perf_counter() - start
@@ -389,6 +519,7 @@ def analyze(
         complete_stats=complete_stats,
         timings=timings,
         stage0_cached=stage0_cached,
+        degradations=tuple(degradations),
     )
 
 
@@ -431,24 +562,43 @@ class SweepSummary:
     constants: dict[str, dict[str, LatticeValue]]
     timings: dict[str, float]
     solver_counters: dict[str, int]
+    #: RL5xx degradation descriptions (empty on a healthy run).
+    degradations: tuple[str, ...] = ()
+    #: stage-0 cache counter deltas observed while producing this cell,
+    #: measured in whichever process actually ran it — so ``--stats`` is
+    #: truthful in both in-process and worker-pool sweeps.
+    cache_counters: dict[str, int] = field(default_factory=dict)
 
 
-def summarize(result: AnalysisResult) -> SweepSummary:
+def summarize(
+    result: AnalysisResult, *, cache_counters: dict[str, int] | None = None
+) -> SweepSummary:
     return SweepSummary(
         constants_found=result.constants_found,
         references_substituted=result.references_substituted,
         constants=result.all_constants(),
         timings=dict(result.timings),
         solver_counters=result.solved.counters(),
+        degradations=tuple(r.describe() for r in result.degradations),
+        cache_counters=dict(cache_counters or {}),
     )
 
 
-def _sweep_one(
-    item: tuple[str, str, dict[str, AnalysisConfig]],
-) -> tuple[str, dict[str, SweepSummary]]:
-    name, source, configs = item
-    results = Analyzer(source).sweep(configs)
-    return name, {key: summarize(result) for key, result in results.items()}
+class SweepError(RuntimeError):
+    """A :func:`sweep_programs` call finished with failed cells.
+
+    Carries the full :class:`~repro.resilience.executor.SweepOutcome` so
+    callers that want partial results can still render them; callers of
+    the strict legacy API get an exception instead of silent holes.
+    """
+
+    def __init__(self, outcome):
+        self.outcome = outcome
+        programs = ", ".join(sorted({f.program for f in outcome.failures}))
+        super().__init__(
+            f"sweep finished with {len(outcome.failures)} failure(s) "
+            f"({programs}); see SweepError.outcome for the records"
+        )
 
 
 def sweep_programs(
@@ -464,11 +614,20 @@ def sweep_programs(
     processes — each worker pays stage 0 once per program and ships back
     only the picklable :class:`SweepSummary` cells, which is how the
     12-program table regeneration parallelizes.
+
+    This is the strict facade over the fault-tolerant executor
+    (:func:`repro.resilience.executor.run_sweep`): every cell must
+    succeed or the whole call raises :class:`SweepError`. Callers that
+    want partial results, timeouts, retries, or the checkpoint journal
+    use ``run_sweep`` directly.
     """
-    items = [(name, source, configs) for name, source in sources.items()]
-    if processes is None or processes <= 0 or len(items) <= 1:
-        pairs = map(_sweep_one, items)
-    else:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            pairs = list(pool.map(_sweep_one, items))
-    return dict(pairs)
+    # Late import: the executor imports this module.
+    from repro.resilience.executor import SweepPolicy, run_sweep
+
+    policy = SweepPolicy(
+        processes=processes if processes and processes > 0 else None
+    )
+    outcome = run_sweep(sources, configs, policy)
+    if outcome.failures:
+        raise SweepError(outcome)
+    return outcome.summaries

@@ -204,9 +204,15 @@ class DeltaEngine:
     and every VAL mutation — including seed-time kills — through
     ``observe_update(proc, key, old, new)``. Detached (the default), the
     hooks cost one ``is not None`` test per edge.
+
+    ``budget`` (a :class:`repro.resilience.budgets.SolveBudget`, also
+    duck-typed) caps evaluation/meet fuel, checked once per seed or
+    delta batch — off the per-edge hot path, so a runaway solve overruns
+    its cap by at most one batch before the
+    :class:`~repro.resilience.errors.BudgetExhaustedError` fires.
     """
 
-    __slots__ = ("_index", "_val", "_stats", "_memo", "_sanitizer")
+    __slots__ = ("_index", "_val", "_stats", "_memo", "_sanitizer", "_budget")
 
     def __init__(
         self,
@@ -214,12 +220,14 @@ class DeltaEngine:
         val: dict[str, dict[EntryKey, LatticeValue]],
         stats,
         sanitizer=None,
+        budget=None,
     ):
         self._index = index
         self._val = val
         self._stats = stats
         self._memo: dict[tuple, LatticeValue] = {}
         self._sanitizer = sanitizer
+        self._budget = budget
 
     def callees(self, caller: str) -> tuple[str, ...]:
         return self._index.callees.get(caller, ())
@@ -295,6 +303,8 @@ class DeltaEngine:
             if keys is None:
                 keys = changed[callee] = {}
             keys[key] = None
+        if self._budget is not None:
+            self._budget.check_engine(stats)
         return changed
 
     def apply_deltas(
@@ -320,6 +330,8 @@ class DeltaEngine:
                     if lowered_keys is None:
                         lowered_keys = changed[edge.callee] = {}
                     lowered_keys[edge.key] = None
+        if self._budget is not None:
+            self._budget.check_engine(stats)
         return changed
 
     def _poly_value(

@@ -189,6 +189,7 @@ def solve(
     forward: ForwardFunctions,
     *,
     sanitizer=None,
+    budget=None,
 ) -> SolveResult:
     """Sparse delta-driven propagation to a fixpoint (procedure-grained).
 
@@ -201,10 +202,16 @@ def solve(
     :class:`repro.diagnostics.sanitizer.LatticeSanitizer`) observes every
     transfer and VAL update for lattice-invariant checking; ``None`` —
     the default — solves at full speed.
+
+    ``budget`` (a :class:`repro.resilience.budgets.SolveBudget`) caps
+    passes here and evaluation/meet fuel inside the engine; exhaustion
+    raises :class:`~repro.resilience.errors.BudgetExhaustedError`, which
+    the driver's degradation ladder converts into a cheaper jump
+    function rather than a dead result.
     """
     result = SolveResult(val=initial_val(lowered))
     engine = DeltaEngine(
-        forward.support_index(lowered), result.val, result, sanitizer
+        forward.support_index(lowered), result.val, result, sanitizer, budget
     )
 
     worklist = _PriorityWorklist(graph.rpo_index())
@@ -216,6 +223,8 @@ def solve(
     seeded: set[str] = set()
     while worklist:
         caller = worklist.pop()
+        if budget is not None:
+            budget.check_passes(worklist.passes)
         result.reached.add(caller)
         if caller not in seeded:
             seeded.add(caller)
@@ -239,10 +248,14 @@ def solve_dense(
     lowered: LoweredProgram,
     graph: CallGraph,
     forward: ForwardFunctions,
+    *,
+    budget=None,
 ) -> SolveResult:
     """The dense reference solver: re-evaluate every jump function at
     every site of a popped caller. Kept as the oracle the sparse engine
-    is cross-checked against and the baseline it is benchmarked against.
+    is cross-checked against, the baseline it is benchmarked against,
+    and the crash fallback the driver degrades to (``budget`` caps it
+    the same way :func:`solve` is capped).
     """
     result = SolveResult(val=initial_val(lowered))
     val = result.val
@@ -251,6 +264,8 @@ def solve_dense(
     worklist.push(lowered.program.main, lowered.program.main)
     while worklist:
         caller = worklist.pop()
+        if budget is not None:
+            budget.check_all(result, worklist.passes)
         result.reached.add(caller)
         env = val[caller]
         for callee_name, call in graph.call_sites_from(caller):

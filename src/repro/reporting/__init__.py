@@ -8,6 +8,9 @@
 - :func:`figure1_meet_table` — the lattice meet rules of Figure 1.
 - :func:`run_cost_report` — measured construction/solve cost per jump
   function kind (the §3.1.5 discussion, measured).
+- :func:`run_table2_outcome` / :func:`run_table3_outcome` — the
+  fault-tolerant variants: rows (``None`` holes render ``-``) plus the
+  :class:`~repro.resilience.executor.SweepOutcome` with every failure.
 """
 
 from repro.reporting.tables import (
@@ -15,12 +18,15 @@ from repro.reporting.tables import (
     Table2Row,
     Table3Row,
     figure1_meet_table,
+    format_sweep_failures,
     format_table1,
     format_table2,
     format_table3,
     run_table1,
     run_table2,
+    run_table2_outcome,
     run_table3,
+    run_table3_outcome,
 )
 from repro.reporting.costs import CostRow, format_cost_report, run_cost_report
 
@@ -31,11 +37,14 @@ __all__ = [
     "Table3Row",
     "figure1_meet_table",
     "format_cost_report",
+    "format_sweep_failures",
     "format_table1",
     "format_table2",
     "format_table3",
     "run_cost_report",
     "run_table1",
     "run_table2",
+    "run_table2_outcome",
     "run_table3",
+    "run_table3_outcome",
 ]

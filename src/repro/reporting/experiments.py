@@ -17,13 +17,15 @@ from repro.core.driver import analyze
 from repro.reporting.costs import format_cost_report, run_cost_report
 from repro.reporting.tables import (
     figure1_meet_table,
+    format_sweep_failures,
     format_table1,
     format_table2,
     format_table3,
     run_table1,
-    run_table2,
-    run_table3,
+    run_table2_outcome,
+    run_table3_outcome,
 )
+from repro.resilience.executor import SweepPolicy
 from repro.workloads import load, suite_names
 from repro.workloads.library import library_program
 
@@ -39,6 +41,8 @@ class ExperimentReport:
     costs: list = field(default_factory=list)
     motivation: dict = field(default_factory=dict)
     cloning: list = field(default_factory=list)
+    #: "table2"/"table3" → SweepOutcome (failures, retries, quarantine).
+    outcomes: dict = field(default_factory=dict)
 
     def to_markdown(self) -> str:
         sections = [
@@ -56,12 +60,12 @@ class ExperimentReport:
             "",
             "## Table 2",
             "```",
-            format_table2(self.table2),
+            format_table2(self.table2, self.outcomes.get("table2")),
             "```",
             "",
             "## Table 3",
             "```",
-            format_table3(self.table3),
+            format_table3(self.table3, self.outcomes.get("table3")),
             "```",
             "",
             "## Jump function costs (§3.1.5)",
@@ -76,7 +80,20 @@ class ExperimentReport:
             self._cloning_markdown(),
             "",
         ]
+        failures = self._failures_markdown()
+        if failures:
+            sections.extend(["## Sweep failures", failures, ""])
         return "\n".join(sections)
+
+    def _failures_markdown(self) -> str:
+        """Explicit failure reporting — a partial report never passes
+        itself off as a complete one."""
+        blocks = []
+        for label, outcome in self.outcomes.items():
+            section = format_sweep_failures(outcome)
+            if section:
+                blocks.append(f"### {label}\n```\n{section}\n```")
+        return "\n".join(blocks)
 
     def _motivation_markdown(self) -> str:
         stats = self.motivation
@@ -104,18 +121,27 @@ class ExperimentReport:
         return "\n".join(lines)
 
 
-def run_experiments(scale: float = 1.0, processes: int | None = None) -> ExperimentReport:
+def run_experiments(
+    scale: float = 1.0,
+    processes: int | None = None,
+    policy: SweepPolicy | None = None,
+) -> ExperimentReport:
     """Run the full evaluation and collect every measured artifact.
 
     Stage-0 artifacts are shared through the global cache, so the
     Table 2 sweep, the Table 3 sweep, and the cost report all reuse one
     lowering + call graph + MOD/REF per program. ``processes`` fans the
-    table sweeps across worker processes.
+    table sweeps across worker processes; pass a full ``policy`` instead
+    for timeouts/retries/journaling. Table sweeps run through the
+    fault-tolerant executor — a failing program leaves ``None`` holes and
+    an explicit "Sweep failures" section rather than aborting the report.
     """
+    if policy is None:
+        policy = SweepPolicy(processes=processes)
     report = ExperimentReport(scale=scale)
     report.table1 = run_table1(scale)
-    report.table2 = run_table2(scale, processes)
-    report.table3 = run_table3(scale, processes)
+    report.table2, report.outcomes["table2"] = run_table2_outcome(scale, policy)
+    report.table3, report.outcomes["table3"] = run_table3_outcome(scale, policy)
     report.costs = run_cost_report(scale)
 
     library_result = analyze(library_program())
@@ -146,10 +172,13 @@ def run_experiments(scale: float = 1.0, processes: int | None = None) -> Experim
 
 
 def write_report(
-    path: str, scale: float = 1.0, processes: int | None = None
+    path: str,
+    scale: float = 1.0,
+    processes: int | None = None,
+    policy: SweepPolicy | None = None,
 ) -> ExperimentReport:
     """Run everything and write the markdown report to ``path``."""
-    report = run_experiments(scale, processes)
+    report = run_experiments(scale, processes, policy)
     with open(path, "w") as handle:
         handle.write(report.to_markdown())
     return report

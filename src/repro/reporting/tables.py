@@ -6,6 +6,14 @@ paper's layout. Pass ``scale`` < 1.0 for quick runs (tests use 0.4; the
 benchmark harness runs full scale). Pass ``processes`` to fan the
 12-program sweeps across worker processes (each worker builds stage 0
 once per program and ships back picklable summaries).
+
+``run_table2_outcome``/``run_table3_outcome`` are the fault-tolerant
+variants: they accept a :class:`~repro.resilience.executor.SweepPolicy`
+(timeouts, retries, chaos, checkpoint journal) and return the rows
+*plus* the :class:`~repro.resilience.executor.SweepOutcome`. Cells a
+failed program never produced come back ``None`` and render as ``-``;
+``format_tableN(rows, outcome=...)`` appends an explicit failures
+section, so a partial table is always visibly partial.
 """
 
 from __future__ import annotations
@@ -13,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import TABLE2_CONFIGS, TABLE3_CONFIGS
-from repro.core.driver import sweep_programs
+from repro.core.driver import SweepSummary, sweep_programs
 from repro.core.lattice import BOTTOM, TOP, meet
 from repro.frontend.symbols import parse_program
+from repro.resilience.executor import SweepOutcome, SweepPolicy, run_sweep
 from repro.workloads import load, suite_names
 
 
@@ -34,22 +43,25 @@ class Table1Row:
 
 @dataclass(frozen=True)
 class Table2Row:
+    """``None`` cells mean the sweep failed to produce that cell (they
+    render as ``-``); the strict :func:`run_table2` never yields them."""
+
     program: str
-    polynomial: int
-    pass_through: int
-    intraprocedural: int
-    literal: int
-    polynomial_no_rjf: int
-    pass_through_no_rjf: int
+    polynomial: int | None
+    pass_through: int | None
+    intraprocedural: int | None
+    literal: int | None
+    polynomial_no_rjf: int | None
+    pass_through_no_rjf: int | None
 
 
 @dataclass(frozen=True)
 class Table3Row:
     program: str
-    polynomial_no_mod: int
-    polynomial_with_mod: int
-    complete: int
-    intraprocedural_only: int
+    polynomial_no_mod: int | None
+    polynomial_with_mod: int | None
+    complete: int | None
+    intraprocedural_only: int | None
 
 
 def run_table1(scale: float = 1.0) -> list[Table1Row]:
@@ -70,42 +82,70 @@ def run_table1(scale: float = 1.0) -> list[Table1Row]:
     return rows
 
 
-def run_table2(scale: float = 1.0, processes: int | None = None) -> list[Table2Row]:
-    """Constants found through use of jump functions (paper Table 2)."""
-    sweeps = sweep_programs(_suite_sources(scale), TABLE2_CONFIGS, processes)
+def _count(cells: dict[str, SweepSummary], key: str) -> int | None:
+    cell = cells.get(key)
+    return cell.constants_found if cell is not None else None
+
+
+def _table2_rows(sweeps: dict[str, dict[str, SweepSummary]]) -> list[Table2Row]:
     rows = []
     for name in suite_names():
-        counts = {key: cell.constants_found for key, cell in sweeps[name].items()}
+        cells = sweeps.get(name, {})
         rows.append(
             Table2Row(
                 program=name,
-                polynomial=counts["polynomial"],
-                pass_through=counts["pass_through"],
-                intraprocedural=counts["intraprocedural"],
-                literal=counts["literal"],
-                polynomial_no_rjf=counts["polynomial_no_rjf"],
-                pass_through_no_rjf=counts["pass_through_no_rjf"],
+                polynomial=_count(cells, "polynomial"),
+                pass_through=_count(cells, "pass_through"),
+                intraprocedural=_count(cells, "intraprocedural"),
+                literal=_count(cells, "literal"),
+                polynomial_no_rjf=_count(cells, "polynomial_no_rjf"),
+                pass_through_no_rjf=_count(cells, "pass_through_no_rjf"),
             )
         )
     return rows
+
+
+def _table3_rows(sweeps: dict[str, dict[str, SweepSummary]]) -> list[Table3Row]:
+    rows = []
+    for name in suite_names():
+        cells = sweeps.get(name, {})
+        rows.append(
+            Table3Row(
+                program=name,
+                polynomial_no_mod=_count(cells, "polynomial_no_mod"),
+                polynomial_with_mod=_count(cells, "polynomial_with_mod"),
+                complete=_count(cells, "complete"),
+                intraprocedural_only=_count(cells, "intraprocedural_only"),
+            )
+        )
+    return rows
+
+
+def run_table2(scale: float = 1.0, processes: int | None = None) -> list[Table2Row]:
+    """Constants found through use of jump functions (paper Table 2)."""
+    return _table2_rows(sweep_programs(_suite_sources(scale), TABLE2_CONFIGS, processes))
 
 
 def run_table3(scale: float = 1.0, processes: int | None = None) -> list[Table3Row]:
     """Most precise jump function vs. other techniques (paper Table 3)."""
-    sweeps = sweep_programs(_suite_sources(scale), TABLE3_CONFIGS, processes)
-    rows = []
-    for name in suite_names():
-        counts = {key: cell.constants_found for key, cell in sweeps[name].items()}
-        rows.append(
-            Table3Row(
-                program=name,
-                polynomial_no_mod=counts["polynomial_no_mod"],
-                polynomial_with_mod=counts["polynomial_with_mod"],
-                complete=counts["complete"],
-                intraprocedural_only=counts["intraprocedural_only"],
-            )
-        )
-    return rows
+    return _table3_rows(sweep_programs(_suite_sources(scale), TABLE3_CONFIGS, processes))
+
+
+def run_table2_outcome(
+    scale: float = 1.0, policy: SweepPolicy | None = None
+) -> tuple[list[Table2Row], SweepOutcome]:
+    """Table 2 through the fault-tolerant executor: always returns rows
+    (with ``None`` holes for failed cells) plus the sweep's outcome."""
+    outcome = run_sweep(_suite_sources(scale), TABLE2_CONFIGS, policy)
+    return _table2_rows(outcome.summaries), outcome
+
+
+def run_table3_outcome(
+    scale: float = 1.0, policy: SweepPolicy | None = None
+) -> tuple[list[Table3Row], SweepOutcome]:
+    """Table 3 through the fault-tolerant executor."""
+    outcome = run_sweep(_suite_sources(scale), TABLE3_CONFIGS, policy)
+    return _table3_rows(outcome.summaries), outcome
 
 
 def format_table1(rows: list[Table1Row]) -> str:
@@ -126,7 +166,33 @@ def format_table1(rows: list[Table1Row]) -> str:
     return "\n".join(lines)
 
 
-def format_table2(rows: list[Table2Row]) -> str:
+def _cell(value: int | None) -> str:
+    return "-" if value is None else str(value)
+
+
+def format_sweep_failures(outcome: SweepOutcome) -> str:
+    """The failures/quarantine section appended to partial tables.
+    Empty string when the sweep completed cleanly."""
+    if (
+        not outcome.failures
+        and not outcome.quarantined
+        and not outcome.degradation_count()
+    ):
+        return ""
+    lines: list[str] = []
+    if outcome.failures:
+        lines.append(f"failures ({len(outcome.failures)}):")
+        for record in outcome.failures:
+            lines.append(f"  {record.diagnostic().code} {record.describe()}")
+    if outcome.quarantined:
+        lines.append("quarantined: " + ", ".join(outcome.quarantined))
+    degraded = outcome.degradation_count()
+    if degraded:
+        lines.append(f"degraded cells: {degraded} (see --stats for RL5xx codes)")
+    return "\n".join(lines)
+
+
+def format_table2(rows: list[Table2Row], outcome: SweepOutcome | None = None) -> str:
     header = (
         f"{'Program':<12} | {'Poly':>6} {'Pass':>6} {'Intra':>6} {'Lit':>6} "
         f"| {'PolyNR':>7} {'PassNR':>7}"
@@ -139,14 +205,20 @@ def format_table2(rows: list[Table2Row]) -> str:
     ]
     for row in rows:
         lines.append(
-            f"{row.program:<12} | {row.polynomial:>6} {row.pass_through:>6} "
-            f"{row.intraprocedural:>6} {row.literal:>6} "
-            f"| {row.polynomial_no_rjf:>7} {row.pass_through_no_rjf:>7}"
+            f"{row.program:<12} | {_cell(row.polynomial):>6} "
+            f"{_cell(row.pass_through):>6} "
+            f"{_cell(row.intraprocedural):>6} {_cell(row.literal):>6} "
+            f"| {_cell(row.polynomial_no_rjf):>7} "
+            f"{_cell(row.pass_through_no_rjf):>7}"
         )
+    if outcome is not None:
+        section = format_sweep_failures(outcome)
+        if section:
+            lines.append(section)
     return "\n".join(lines)
 
 
-def format_table3(rows: list[Table3Row]) -> str:
+def format_table3(rows: list[Table3Row], outcome: SweepOutcome | None = None) -> str:
     header = (
         f"{'Program':<12} {'Poly w/o MOD':>13} {'Poly w/ MOD':>12} "
         f"{'Complete':>9} {'Intraproc':>10}"
@@ -159,10 +231,14 @@ def format_table3(rows: list[Table3Row]) -> str:
     ]
     for row in rows:
         lines.append(
-            f"{row.program:<12} {row.polynomial_no_mod:>13} "
-            f"{row.polynomial_with_mod:>12} {row.complete:>9} "
-            f"{row.intraprocedural_only:>10}"
+            f"{row.program:<12} {_cell(row.polynomial_no_mod):>13} "
+            f"{_cell(row.polynomial_with_mod):>12} {_cell(row.complete):>9} "
+            f"{_cell(row.intraprocedural_only):>10}"
         )
+    if outcome is not None:
+        section = format_sweep_failures(outcome)
+        if section:
+            lines.append(section)
     return "\n".join(lines)
 
 

@@ -1,0 +1,66 @@
+"""Fault-tolerant execution: error taxonomy, resource budgets, the
+hardened sweep executor, checkpoint journal, and the chaos harness.
+
+See DESIGN.md §7 ("Resilience & budgets") for the architecture: every
+failure becomes a typed :class:`FailureRecord`, every budget exhaustion
+walks the jump-function degradation ladder instead of dying, and the
+chaos harness (:mod:`repro.resilience.chaos`) proves the executor
+isolates, retries, quarantines, and resumes — deterministically.
+
+The executor and journal symbols are loaded lazily (PEP 562): they
+import :mod:`repro.core.driver`, which itself imports the taxonomy and
+budget modules here, so eagerly importing them would cycle.
+"""
+
+import importlib
+
+from repro.resilience.budgets import SolveBudget
+from repro.resilience.chaos import ChaosError, ChaosSpec, ChaosWorkerLoss, Fault
+from repro.resilience.errors import (
+    BudgetExhaustedError,
+    DegradationRecord,
+    FailureKind,
+    FailureRecord,
+    ResilienceError,
+    Stage,
+    classify_exception,
+    format_cli_error,
+)
+
+#: symbols resolved on first access to break the driver import cycle.
+_LAZY = {
+    "SweepOutcome": "executor",
+    "SweepPolicy": "executor",
+    "run_sweep": "executor",
+    "SweepJournal": "journal",
+    "sweep_fingerprint": "journal",
+}
+
+__all__ = [
+    "BudgetExhaustedError",
+    "ChaosError",
+    "ChaosSpec",
+    "ChaosWorkerLoss",
+    "DegradationRecord",
+    "FailureKind",
+    "FailureRecord",
+    "Fault",
+    "ResilienceError",
+    "SolveBudget",
+    "Stage",
+    "SweepJournal",
+    "SweepOutcome",
+    "SweepPolicy",
+    "classify_exception",
+    "format_cli_error",
+    "run_sweep",
+    "sweep_fingerprint",
+]
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = importlib.import_module(f"repro.resilience.{module_name}")
+    return getattr(module, name)

@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the analysis pipeline.
+
+The chaos harness proves — rather than hopes — that the resilient sweep
+executor isolates, retries, quarantines, and resumes correctly. A
+:class:`ChaosSpec` is a picklable list of :class:`Fault` rules plus a
+seed; installing it arms module-level hooks the driver consults at every
+stage boundary (:func:`chaos_point`) and after every stage-0 fetch
+(:func:`maybe_corrupt_stage0`). With nothing installed each hook is a
+single ``is None`` test, so production sweeps pay nothing.
+
+Fault kinds:
+
+``crash``
+    raise a :class:`ChaosError` (an ordinary exception tagged with the
+    stage) — exercises per-cell failure records and the sparse→dense
+    solver fallback when aimed at ``stage=SOLVE, scope="sparse"``.
+``kill``
+    die the way a real worker does: ``os._exit`` inside a worker process
+    (surfacing as ``BrokenProcessPool`` in the parent), or raise the
+    :class:`ChaosWorkerLoss` *BaseException* in-process so nothing but
+    the executor can swallow it.
+``sleep``
+    stall for ``sleep_seconds`` — exercises per-task wall-clock timeouts.
+``corrupt``
+    clobber the fetched :class:`~repro.core.driver.Stage0Artifacts`
+    bundle in place (it *is* the cache entry, so the corruption persists
+    exactly like a real poisoned cache) — exercises retry-then-quarantine.
+
+Determinism: rules fire on exact (stage, program, scope) matches, capped
+by ``max_firings`` and gated by ``max_attempt`` (so a "transient" fault
+can hit the first attempt and spare the retry). Probabilistic rules hash
+``(seed, stage, program, scope, firing index)`` with SHA-256 — the same
+spec replayed over the same sweep makes identical decisions in any
+process, regardless of interleaving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.errors import Stage
+
+
+class ChaosError(Exception):
+    """An injected stage-boundary crash. Carries the stage it fired at so
+    :func:`~repro.resilience.errors.classify_exception` trusts it."""
+
+    def __init__(self, stage: Stage, message: str):
+        self.stage = stage
+        super().__init__(message)
+
+
+class ChaosWorkerLoss(BaseException):
+    """In-process stand-in for a dead worker. A *BaseException* so the
+    driver's broad crash-fallback handlers cannot swallow it — only the
+    sweep executor's worker-loss path may."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection rule. ``None`` match fields are wildcards."""
+
+    stage: Stage
+    kind: str  # "crash" | "kill" | "sleep" | "corrupt"
+    program: str | None = None
+    #: sub-position within a stage (the solve stage distinguishes the
+    #: "sparse" attempt from the "dense" fallback).
+    scope: str | None = None
+    probability: float = 1.0
+    #: total firings allowed per injector install (per process).
+    max_firings: int | None = None
+    #: fire only while the executor-reported task attempt is < this —
+    #: models transient faults that a retry survives.
+    max_attempt: int | None = None
+    sleep_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A seeded, picklable fault plan, shipped to workers inside task
+    payloads and installed for the duration of one task."""
+
+    seed: int = 0
+    faults: tuple[Fault, ...] = ()
+
+
+@dataclass
+class _Injector:
+    spec: ChaosSpec
+    label: str | None = None
+    attempt: int = 0
+    in_worker: bool = False
+    firings: dict[int, int] = field(default_factory=dict)
+    #: per-rule decision count — advances on every roll (fired or not) so
+    #: probabilistic rules re-roll with a fresh hash at each arrival.
+    rolls: dict[int, int] = field(default_factory=dict)
+
+    def _matches(self, fault: Fault, stage: Stage, scope: str | None) -> bool:
+        if fault.stage is not stage:
+            return False
+        if fault.program is not None and fault.program != self.label:
+            return False
+        if fault.scope is not None and fault.scope != scope:
+            return False
+        if fault.max_attempt is not None and self.attempt >= fault.max_attempt:
+            return False
+        return True
+
+    def _decides_to_fire(self, index: int, fault: Fault, scope: str | None) -> bool:
+        if (
+            fault.max_firings is not None
+            and self.firings.get(index, 0) >= fault.max_firings
+        ):
+            return False
+        roll = self.rolls.get(index, 0)
+        self.rolls[index] = roll + 1
+        if fault.probability < 1.0:
+            digest = hashlib.sha256(
+                f"{self.spec.seed}:{fault.stage.value}:{self.label}:"
+                f"{scope}:{roll}".encode()
+            ).digest()
+            fraction = int.from_bytes(digest[:8], "big") / 2**64
+            if fraction >= fault.probability:
+                return False
+        self.firings[index] = self.firings.get(index, 0) + 1
+        return True
+
+    def point(self, stage: Stage, scope: str | None = None) -> None:
+        for index, fault in enumerate(self.spec.faults):
+            if fault.kind == "corrupt" or not self._matches(fault, stage, scope):
+                continue
+            if not self._decides_to_fire(index, fault, scope):
+                continue
+            if fault.kind == "sleep":
+                time.sleep(fault.sleep_seconds)
+            elif fault.kind == "kill":
+                if self.in_worker:
+                    os._exit(17)  # a dead worker, not an exception
+                raise ChaosWorkerLoss(
+                    f"chaos: worker lost at {stage.value} ({self.label})"
+                )
+            else:  # crash
+                raise ChaosError(
+                    stage,
+                    f"chaos: injected {stage.value} crash ({self.label})",
+                )
+
+    def corrupt(self, stage0) -> None:
+        for index, fault in enumerate(self.spec.faults):
+            if fault.kind != "corrupt":
+                continue
+            if not self._matches(fault, Stage.LOWERING, None):
+                continue
+            if not self._decides_to_fire(index, fault, None):
+                continue
+            # The bundle is the live cache entry: clobbering it poisons
+            # every later fetch of this program, like real corruption.
+            stage0.lowered = None
+            stage0.graph = None
+
+
+_ACTIVE: _Injector | None = None
+
+
+def install(
+    spec: ChaosSpec,
+    *,
+    label: str | None = None,
+    attempt: int = 0,
+    in_worker: bool = False,
+) -> None:
+    """Arm ``spec`` for this process until :func:`uninstall`."""
+    global _ACTIVE
+    _ACTIVE = _Injector(spec, label=label, attempt=attempt, in_worker=in_worker)
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def set_task(label: str | None, attempt: int = 0) -> None:
+    """Re-point the active injector at a new (program, attempt) task."""
+    if _ACTIVE is not None:
+        _ACTIVE.label = label
+        _ACTIVE.attempt = attempt
+
+
+def chaos_point(stage: Stage, scope: str | None = None) -> None:
+    """The driver's stage-boundary hook. Free when chaos is not armed."""
+    if _ACTIVE is not None:
+        _ACTIVE.point(stage, scope)
+
+
+def maybe_corrupt_stage0(stage0) -> None:
+    """The driver's post-fetch hook for cache-corruption faults."""
+    if _ACTIVE is not None:
+        _ACTIVE.corrupt(stage0)

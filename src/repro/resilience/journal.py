@@ -1,0 +1,146 @@
+"""JSONL checkpoint journal for interruptible sweeps.
+
+One line per event, append-only, so a sweep killed at any instant loses
+at most the line being written. On resume the executor replays the
+journal and skips every completed (program, configuration) cell.
+
+Layout::
+
+    {"kind": "header", "schema": 1, "fingerprint": "..."}
+    {"kind": "cell", "program": "trfd", "config": "polynomial", "summary": {...}}
+    {"kind": "failure", "program": "bad", "config": "literal", ...}
+
+The header fingerprint hashes the program sources and the configuration
+reprs: resuming against different inputs silently restarting from zero is
+correct, resuming stale cells would not be — a mismatched journal is
+truncated, never trusted. A torn final line (the crash case) is ignored;
+failure lines are informational and always re-attempted on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Mapping
+
+from repro.core.driver import SweepSummary
+from repro.resilience.errors import FailureRecord
+
+SCHEMA = 1
+
+
+def sweep_fingerprint(sources: Mapping[str, str], configs: Mapping) -> str:
+    """Identity of one sweep: every program text and configuration."""
+    digest = hashlib.sha256()
+    for name in sorted(sources):
+        digest.update(name.encode())
+        digest.update(hashlib.sha256(sources[name].encode()).digest())
+    for name in sorted(configs):
+        digest.update(name.encode())
+        digest.update(repr(configs[name]).encode())
+    return digest.hexdigest()
+
+
+def summary_to_json(summary: SweepSummary) -> dict:
+    return {
+        "constants_found": summary.constants_found,
+        "references_substituted": summary.references_substituted,
+        "constants": summary.constants,
+        "timings": summary.timings,
+        "solver_counters": summary.solver_counters,
+        "degradations": list(summary.degradations),
+        "cache_counters": summary.cache_counters,
+    }
+
+
+def summary_from_json(payload: dict) -> SweepSummary:
+    return SweepSummary(
+        constants_found=payload["constants_found"],
+        references_substituted=payload["references_substituted"],
+        constants=payload["constants"],
+        timings=payload["timings"],
+        solver_counters=payload["solver_counters"],
+        degradations=tuple(payload.get("degradations", ())),
+        cache_counters=payload.get("cache_counters", {}),
+    )
+
+
+class SweepJournal:
+    """Append-only recorder of completed cells and observed failures."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # -- reading --------------------------------------------------------------
+
+    def load(self, fingerprint: str) -> dict[tuple[str, str], SweepSummary]:
+        """Completed cells from a prior run of the *same* sweep.
+
+        A missing journal, a foreign fingerprint, or an unreadable header
+        all start fresh (the file is truncated and re-headed). Torn or
+        malformed lines are skipped — every cell parsed before them still
+        counts.
+        """
+        if not os.path.exists(self.path):
+            self._write_header(fingerprint)
+            return {}
+        cells: dict[tuple[str, str], SweepSummary] = {}
+        header_ok = False
+        with open(self.path) as handle:
+            for line_no, line in enumerate(handle):
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # torn write: ignore, keep earlier cells
+                if line_no == 0:
+                    header_ok = (
+                        event.get("kind") == "header"
+                        and event.get("schema") == SCHEMA
+                        and event.get("fingerprint") == fingerprint
+                    )
+                    if not header_ok:
+                        break
+                    continue
+                if event.get("kind") != "cell":
+                    continue
+                try:
+                    summary = summary_from_json(event["summary"])
+                except (KeyError, TypeError):
+                    continue
+                cells[(event["program"], event["config"])] = summary
+        if not header_ok:
+            self._write_header(fingerprint)
+            return {}
+        return cells
+
+    # -- writing --------------------------------------------------------------
+
+    def _write_header(self, fingerprint: str) -> None:
+        with open(self.path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {"kind": "header", "schema": SCHEMA,
+                     "fingerprint": fingerprint}
+                )
+                + "\n"
+            )
+
+    def _append(self, event: dict) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(event) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def record_cell(self, program: str, config: str, summary: SweepSummary) -> None:
+        self._append(
+            {
+                "kind": "cell",
+                "program": program,
+                "config": config,
+                "summary": summary_to_json(summary),
+            }
+        )
+
+    def record_failure(self, record: FailureRecord) -> None:
+        self._append({"kind": "failure", **record.to_json()})

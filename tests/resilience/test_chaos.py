@@ -1,0 +1,112 @@
+"""The chaos harness itself: matching, caps, and seeded determinism."""
+
+import pytest
+
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosError, ChaosSpec, ChaosWorkerLoss, Fault
+from repro.resilience.errors import Stage
+
+
+def _fire_pattern(seed: int, probability: float, rolls: int = 32) -> list[bool]:
+    injector = chaos._Injector(
+        ChaosSpec(
+            seed=seed,
+            faults=(
+                Fault(
+                    stage=Stage.SOLVE, kind="crash", probability=probability
+                ),
+            ),
+        ),
+        label="prog",
+    )
+    pattern = []
+    for _ in range(rolls):
+        try:
+            injector.point(Stage.SOLVE)
+            pattern.append(False)
+        except ChaosError:
+            pattern.append(True)
+    return pattern
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        assert _fire_pattern(7, 0.4) == _fire_pattern(7, 0.4)
+
+    def test_different_seed_different_decisions(self):
+        assert _fire_pattern(7, 0.4) != _fire_pattern(8, 0.4)
+
+    def test_probability_actually_mixes(self):
+        pattern = _fire_pattern(3, 0.5)
+        assert any(pattern) and not all(pattern)
+
+    def test_probability_bounds(self):
+        assert not any(_fire_pattern(1, 0.0))
+        assert all(_fire_pattern(1, 1.0))
+
+
+class TestMatching:
+    def test_program_filter(self):
+        spec = ChaosSpec(
+            faults=(Fault(stage=Stage.SSA, kind="crash", program="bad"),)
+        )
+        chaos.install(spec, label="good")
+        try:
+            chaos.chaos_point(Stage.SSA)  # wrong program: no fire
+            chaos.set_task("bad")
+            with pytest.raises(ChaosError):
+                chaos.chaos_point(Stage.SSA)
+        finally:
+            chaos.uninstall()
+
+    def test_scope_filter(self):
+        spec = ChaosSpec(
+            faults=(
+                Fault(stage=Stage.SOLVE, kind="crash", scope="dense"),
+            )
+        )
+        chaos.install(spec, label="p")
+        try:
+            chaos.chaos_point(Stage.SOLVE, scope="sparse")
+            with pytest.raises(ChaosError):
+                chaos.chaos_point(Stage.SOLVE, scope="dense")
+        finally:
+            chaos.uninstall()
+
+    def test_max_firings_caps_injection(self):
+        spec = ChaosSpec(
+            faults=(
+                Fault(stage=Stage.SOLVE, kind="crash", max_firings=1),
+            )
+        )
+        chaos.install(spec, label="p")
+        try:
+            with pytest.raises(ChaosError):
+                chaos.chaos_point(Stage.SOLVE)
+            chaos.chaos_point(Stage.SOLVE)  # cap reached: silent
+        finally:
+            chaos.uninstall()
+
+    def test_max_attempt_models_transient_faults(self):
+        spec = ChaosSpec(
+            faults=(Fault(stage=Stage.SOLVE, kind="kill", max_attempt=1),)
+        )
+        chaos.install(spec, label="p", attempt=0)
+        try:
+            with pytest.raises(ChaosWorkerLoss):
+                chaos.chaos_point(Stage.SOLVE)
+            chaos.set_task("p", attempt=1)
+            chaos.chaos_point(Stage.SOLVE)  # retry survives
+        finally:
+            chaos.uninstall()
+
+    def test_uninstalled_hooks_are_free(self):
+        chaos.uninstall()
+        chaos.chaos_point(Stage.SOLVE)  # no-op, no error
+        chaos.maybe_corrupt_stage0(object())
+
+    def test_worker_loss_is_base_exception(self):
+        # the driver's broad `except Exception` fallbacks must never be
+        # able to swallow a simulated worker death
+        assert not issubclass(ChaosWorkerLoss, Exception)
+        assert issubclass(ChaosWorkerLoss, BaseException)

@@ -1,0 +1,107 @@
+"""Process-pool behaviours of the fault-tolerant executor: real worker
+deaths (``os._exit`` via chaos ``kill``) and wall-clock timeouts.
+
+Marked ``slow``: each test pays process-pool startup, and the timeout
+test deliberately burns its full wall-clock budget.
+"""
+
+import pytest
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.resilience.chaos import ChaosSpec, Fault
+from repro.resilience.errors import FailureKind, Stage
+from repro.resilience.executor import SweepPolicy, run_sweep
+
+pytestmark = pytest.mark.slow
+
+GOOD = (
+    "program m\nn = 5\ncall s(n)\nend\n"
+    "subroutine s(a)\ninteger a\nwrite a\nend\n"
+)
+OTHER = (
+    "program m\nk = 7\ncall t(k)\nend\n"
+    "subroutine t(b)\ninteger b\nwrite b * 3\nend\n"
+)
+
+CONFIGS = {
+    "pass_through": AnalysisConfig(),
+    "literal": AnalysisConfig(jump_function=JumpFunctionKind.LITERAL),
+}
+
+
+def _fast_policy(**kwargs) -> SweepPolicy:
+    return SweepPolicy(backoff_base=0.0, **kwargs)
+
+
+class TestWorkerDeath:
+    def test_killed_worker_breaks_pool_then_culprit_is_quarantined(self):
+        # the worker calls os._exit(17) mid-task: the parent sees a
+        # BrokenProcessPool, drops to one-task-per-pool isolation, and
+        # only the killer accumulates strikes
+        spec = ChaosSpec(
+            faults=(Fault(stage=Stage.SOLVE, kind="kill", program="killer"),)
+        )
+        outcome = run_sweep(
+            {"innocent": GOOD, "killer": OTHER},
+            CONFIGS,
+            _fast_policy(processes=2, max_retries=1, chaos=spec),
+        )
+        assert outcome.quarantined == ("killer",)
+        assert set(outcome.summaries["innocent"]) == set(CONFIGS)
+        lost = [
+            r for r in outcome.failures_for("killer") if not r.quarantined
+        ]
+        assert lost
+        assert all(r.kind is FailureKind.WORKER_LOST for r in lost)
+
+    def test_transient_kill_retried_to_success(self):
+        spec = ChaosSpec(
+            faults=(
+                Fault(
+                    stage=Stage.SOLVE, kind="kill", program="flaky",
+                    max_attempt=1,
+                ),
+            )
+        )
+        outcome = run_sweep(
+            {"flaky": GOOD},
+            CONFIGS,
+            _fast_policy(processes=1, max_retries=2, chaos=spec),
+        )
+        assert outcome.quarantined == ()
+        assert set(outcome.summaries["flaky"]) == set(CONFIGS)
+        assert outcome.retries >= 1
+
+
+class TestTimeout:
+    def test_hung_task_becomes_timeout_record(self):
+        spec = ChaosSpec(
+            faults=(
+                Fault(
+                    stage=Stage.SOLVE, kind="sleep", program="hung",
+                    sleep_seconds=30.0,
+                ),
+            )
+        )
+        outcome = run_sweep(
+            {"hung": GOOD, "healthy": OTHER},
+            CONFIGS,
+            _fast_policy(
+                processes=2, task_timeout=2.0, max_retries=0, chaos=spec
+            ),
+        )
+        assert outcome.quarantined == ("hung",)
+        assert set(outcome.summaries["healthy"]) == set(CONFIGS)
+        records = outcome.failures_for("hung")
+        assert any(r.kind is FailureKind.TIMEOUT for r in records)
+
+    def test_worker_cache_counters_reported_from_workers(self):
+        outcome = run_sweep(
+            {"good": GOOD, "other": OTHER},
+            CONFIGS,
+            _fast_policy(processes=2),
+        )
+        assert outcome.complete
+        # each worker built stage 0 once per program, then hit its own cache
+        assert outcome.cache_counters["stage0_cache_misses"] == 2
+        assert outcome.cache_counters["stage0_cache_hits"] == 2

@@ -1,0 +1,107 @@
+"""Warm single-edit re-analysis against the persistent artifact store.
+
+For each corpus program: analyze once (publishing fingerprints and
+per-region fixed points), bump one integer literal in one late-scheduled
+procedure, then re-analyze warm. The fingerprint diff should invalidate
+only the edited procedure's region and its transitive callees, so the
+warm run must do at least 5x fewer jump-function evaluations than a
+from-scratch cold run of the edited source — and the results must be
+identical to that cold run.
+
+Under ``--bench-check`` the recorded ``evaluations`` (warm work) gate at
+the usual 10% regression tolerance and ``store_fallbacks`` at zero:
+a healthy store never forces a consistency fallback on the seed corpus.
+"""
+
+import re
+
+from repro.core.config import AnalysisConfig
+from repro.core.driver import Analyzer, analyze
+from repro.workloads import load
+
+PROGRAMS = ("trfd", "mdg", "fpppp", "adm")
+CONFIG = AnalysisConfig()
+SPEEDUP_FLOOR = 5
+
+_LITERAL = re.compile(r"(?<![\w.])\d+(?![\w.])")
+
+
+def bump_one_literal(source: str) -> str:
+    """Edit exactly one procedure: bump the first standalone integer
+    literal in the body of the last unit that has one."""
+    lines = source.splitlines()
+    header = None
+    sites = []  # (unit_header_index, line_index, match)
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith(("program", "subroutine", "function")):
+            header = index
+        elif stripped == "end":
+            header = None
+        elif header is not None and "integer" not in line:
+            match = _LITERAL.search(line)
+            if match:
+                sites.append((header, index, match))
+    assert sites, "corpus program without an editable literal"
+    _, index, match = sites[-1]
+    line = lines[index]
+    value = int(match.group()) + 1
+    lines[index] = line[: match.start()] + str(value) + line[match.end() :]
+    return "\n".join(lines) + "\n"
+
+
+def reanalyze_corpus():
+    totals = {
+        "evaluations": 0,
+        "cold_evaluations": 0,
+        "store_fallbacks": 0,
+        "regions_warm": 0,
+        "regions": 0,
+    }
+    rows = []
+    for name in PROGRAMS:
+        source = load(name).source
+        edited = bump_one_literal(source)
+        analyzer = Analyzer(source)
+        analyzer.run(CONFIG)
+        warm = analyzer.reanalyze(edited, CONFIG)
+        cold = analyze(edited, CONFIG)
+        assert warm.solved.val == cold.solved.val
+        assert warm.all_constants() == cold.all_constants()
+        assert warm.references_substituted == cold.references_substituted
+        totals["evaluations"] += warm.solved.evaluations
+        totals["cold_evaluations"] += cold.solved.evaluations
+        totals["store_fallbacks"] += warm.incremental.store_fallbacks
+        totals["regions_warm"] += warm.solved.regions_warm
+        totals["regions"] += warm.solved.regions
+        rows.append(
+            f"{name:<10} cold {cold.solved.evaluations:>5}  "
+            f"warm {warm.solved.evaluations:>5}  "
+            f"invalid {len(warm.incremental.invalid):>3}  "
+            f"clean {warm.incremental.clean:>3}  mode {warm.incremental.mode}"
+        )
+        assert warm.incremental.mode == "warm"
+    return totals, rows
+
+
+def test_single_edit_reanalysis_is_warm(benchmark, reporter, bench_counters):
+    totals, rows = benchmark.pedantic(reanalyze_corpus, rounds=1, iterations=1)
+    warm_evals, cold_evals = totals["evaluations"], totals["cold_evaluations"]
+    speedup = cold_evals / warm_evals if warm_evals else float("inf")
+    bench_counters.update(totals)
+    reporter(
+        "Warm single-edit re-analysis (evaluations, per program)",
+        "\n".join(
+            rows
+            + [
+                "",
+                f"total cold {cold_evals}, warm {warm_evals} "
+                f"({speedup:.1f}x fewer; floor {SPEEDUP_FLOOR}x)",
+                f"store fallbacks {totals['store_fallbacks']}",
+            ]
+        ),
+    )
+    # the ISSUE acceptance gate: >=5x fewer evaluations after one edit,
+    # and never a store-consistency fallback on a healthy store
+    assert warm_evals * SPEEDUP_FLOOR <= cold_evals
+    assert totals["store_fallbacks"] == 0

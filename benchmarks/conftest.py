@@ -23,7 +23,11 @@ is left untouched, so the baseline survives the comparison it anchors.
 
 Partial runs (a single benchmark file, ``-k`` selections) merge into the
 committed results by nodeid instead of replacing the whole file, so
-regenerating one baseline entry never erases the others.
+regenerating one baseline entry never erases the others. The merge also
+prunes: a baseline entry whose *file* was collected this session but
+whose exact nodeid no longer exists (the benchmark was renamed or
+deleted) is dropped instead of lingering forever. Files that were not
+collected at all keep their entries untouched.
 """
 
 import json
@@ -39,11 +43,22 @@ REGRESSION_KEYS = ("evaluations", "meets")
 REGRESSION_TOLERANCE = 0.10
 
 #: counters that must be exactly zero on the seed corpus: a healthy
-#: sweep neither degrades nor fails, so there is no tolerance to give.
-ZERO_KEYS = ("degradations", "failures")
+#: sweep neither degrades nor fails, and a healthy artifact store never
+#: forces a cold fallback, so there is no tolerance to give.
+ZERO_KEYS = ("degradations", "failures", "store_fallbacks")
 
 #: test nodeid -> record written to BENCH_results.json.
 _records: dict[str, dict] = {}
+
+#: every nodeid (and its file) collected this session, *before* any
+#: ``-k`` deselection — the pruning scope of the sessionfinish merge.
+_collected_nodeids: set[str] = set()
+_collected_files: set[str] = set()
+
+
+def pytest_itemcollected(item):
+    _collected_nodeids.add(item.nodeid)
+    _collected_files.add(item.nodeid.split("::", 1)[0])
 
 
 def pytest_addoption(parser):
@@ -152,7 +167,13 @@ def pytest_sessionfinish(session, exitstatus):
             previous = {}
         for entry in previous.get("benchmarks", []):
             entry = dict(entry)
-            merged[entry.pop("nodeid")] = entry
+            nodeid = entry.pop("nodeid")
+            # prune stale baselines: the entry's file was collected this
+            # session, yet the nodeid itself no longer exists
+            file_part = nodeid.split("::", 1)[0]
+            if file_part in _collected_files and nodeid not in _collected_nodeids:
+                continue
+            merged[nodeid] = entry
     merged.update(_records)
     payload = {
         "schema": 1,

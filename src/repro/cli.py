@@ -76,6 +76,18 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--no-degrade", action="store_true",
                              help="fail on budget exhaustion instead of "
                                   "walking the degradation ladder")
+    analyze_cmd.add_argument("--store", default=None, metavar="DIR",
+                             help="persistent artifact store directory; the "
+                                  "run publishes its jump functions and "
+                                  "solution there as a snapshot")
+    analyze_cmd.add_argument("--incremental", action="store_true",
+                             help="warm-start from the --store snapshot: "
+                                  "re-solve only procedures whose "
+                                  "fingerprints changed (plus their "
+                                  "transitive callees)")
+    analyze_cmd.add_argument("--profile-json", default=None, metavar="PATH",
+                             help="dump per-stage timings and all solver/"
+                                  "cache/region/store counters as JSON")
 
     run_cmd = sub.add_parser("run", help="execute a file")
     run_cmd.add_argument("file")
@@ -133,6 +145,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="print executor statistics: executed vs "
                                  "resumed cells, retries, per-worker "
                                  "stage-0 cache counters")
+    tables_cmd.add_argument("--store", default=None, metavar="DIR",
+                            help="shared artifact store: every sweep cell "
+                                 "(in every worker process) publishes to "
+                                 "and warm-starts from DIR")
 
     workload_cmd = sub.add_parser("workload", help="emit a suite program")
     workload_cmd.add_argument("name")
@@ -165,7 +181,17 @@ def _config_from(args: argparse.Namespace) -> AnalysisConfig:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         source = handle.read()
-    result = analyze(source, _config_from(args))
+    if args.incremental and not args.store:
+        print("analyze: --incremental needs --store DIR", file=sys.stderr)
+        return 2
+    store = None
+    if args.store:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(args.store)
+    result = analyze(
+        source, _config_from(args), store=store, incremental=args.incremental
+    )
     if args.verify:
         from repro.diagnostics import LintContext, run_passes
 
@@ -197,6 +223,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(result.stats_report())
         for key, value in GLOBAL_STAGE0_CACHE.counters().items():
             print(f"  {key} {value}")
+    if args.profile_json:
+        import json
+
+        with open(args.profile_json, "w") as handle:
+            json.dump(result.stats_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote profile to {args.profile_json}", file=sys.stderr)
     if args.transform:
         print()
         print(result.transformed_source())
@@ -322,6 +355,7 @@ def _tables_policy(args: argparse.Namespace, table: str):
         task_timeout=args.timeout,
         max_retries=args.retries,
         journal_path=journal,
+        store_path=args.store,
     )
 
 

@@ -12,7 +12,12 @@ The dependency structure and the evaluate-and-meet machinery are the
 shared sparse :class:`~repro.core.engine.DeltaEngine`; the only thing
 this module adds over :func:`repro.core.solver.solve` is the worklist
 granularity (one binding per pop instead of one procedure's batched
-deltas per pop).
+deltas per pop). It follows the same SCC region schedule: each region's
+bindings are drained to a local fixed point before the region's
+cross-region call sites are evaluated — once, with final caller
+environments — and a :class:`~repro.core.solver.WarmStart` adopts
+stored solutions for clean regions exactly as the procedure-grained
+solver does.
 
 Because both solvers compute the same greatest fixpoint over the same
 jump functions, their VAL sets must agree exactly; the test suite
@@ -21,10 +26,18 @@ cross-checks them (and the dense reference solver) on every workload.
 
 from __future__ import annotations
 
+import heapq
 from repro.callgraph.graph import CallGraph
 from repro.core.builder import ForwardFunctions
 from repro.core.engine import Binding, DeltaEngine
-from repro.core.solver import SolveResult, _PriorityWorklist, initial_val
+from repro.core.regions import region_schedule
+from repro.core.solver import (
+    SolveResult,
+    WarmStart,
+    _partition_for,
+    _PriorityWorklist,
+    initial_val,
+)
 from repro.ir.lower import LoweredProgram
 
 __all__ = ["Binding", "solve_binding_graph"]
@@ -37,12 +50,150 @@ def solve_binding_graph(
     *,
     sanitizer=None,
     budget=None,
+    region_scheduled: bool = True,
+    warm: WarmStart | None = None,
 ) -> SolveResult:
     """Propagate VAL sets over the binding multi-graph.
 
-    ``sanitizer`` and ``budget`` are the same optional lattice-invariant
-    observer and solver fuel :func:`repro.core.solver.solve` accepts.
+    ``sanitizer``, ``budget``, ``region_scheduled``, and ``warm`` mean
+    exactly what they mean for :func:`repro.core.solver.solve` — in
+    particular an attached sanitizer forces the fully iterating legacy
+    schedule so every transfer stays observable.
     """
+    if sanitizer is not None:
+        region_scheduled = False
+    if not region_scheduled:
+        return _solve_binding_legacy(
+            lowered, graph, forward, sanitizer=sanitizer, budget=budget
+        )
+    schedule = region_schedule(graph)
+    region_of = schedule.region_of
+    result = SolveResult(val=initial_val(lowered))
+    engine = DeltaEngine(
+        forward.support_index(lowered),
+        result.val,
+        result,
+        sanitizer,
+        budget,
+        partition=_partition_for(forward, lowered, region_of),
+    )
+    worklist = _PriorityWorklist(graph.rpo_index())
+    seeded: set[str] = set()
+    active: dict[int, set[str]] = {}
+    #: region index -> bindings to re-drain (defensive, see solver.py).
+    inbox: dict[int, list[Binding]] = {}
+    dirty: list[int] = []
+    queued: set[int] = set()
+
+    def activate(proc: str) -> None:
+        index = region_of[proc]
+        active.setdefault(index, set()).add(proc)
+        if index not in queued:
+            queued.add(index)
+            heapq.heappush(dirty, index)
+
+    def deliver(proc: str, keys) -> None:
+        if proc in seeded:
+            inbox.setdefault(region_of[proc], []).extend(
+                (proc, key) for key in keys
+            )
+        activate(proc)
+
+    main = lowered.program.main
+    if warm is not None:
+        clean_regions = {region_of[proc] for proc in warm.clean}
+        result.regions_warm = len(clean_regions)
+        for proc in warm.clean:
+            env = warm.envs.get(proc)
+            if env:
+                result.val[proc].update(env)
+            seeded.add(proc)
+        result.reached.update(warm.reached)
+        for proc in sorted(warm.reached, key=worklist.priority_of):
+            invalid = {
+                callee
+                for callee in engine.callees(proc)
+                if callee not in warm.clean
+            }
+            if not invalid:
+                continue
+            for callee in sorted(invalid):
+                activate(callee)
+            for callee, keys in engine.flush_region(proc, only=invalid).items():
+                deliver(callee, keys)
+    if warm is None or main not in warm.clean:
+        activate(main)
+
+    max_local = 0
+    while dirty:
+        index = heapq.heappop(dirty)
+        queued.discard(index)
+        members = active.pop(index, set())
+        box = inbox.pop(index, [])
+        if not members and not box:
+            continue
+        result.regions += 1
+        mark = worklist.begin_segment()
+        #: members whose environments changed this round — they carry
+        #: the region's outgoing flush.
+        touched: dict[str, None] = {}
+        # Reachability-driven seeding, closed within the region: when a
+        # member is first reached, evaluate every jump function at every
+        # site it contains, once. Iterative to avoid deep recursion.
+        stack = sorted(members, reverse=True)
+        while stack:
+            proc = stack.pop()
+            if proc in seeded:
+                continue
+            seeded.add(proc)
+            result.reached.add(proc)
+            touched[proc] = None
+            for callee, keys in engine.seed(proc).items():
+                touched[callee] = None
+                for key in keys:
+                    worklist.push((callee, key), callee)
+            for callee in engine.callees(proc):
+                if region_of[callee] == index:
+                    if callee not in seeded:
+                        stack.append(callee)
+                else:
+                    activate(callee)  # cross-region reach
+        for binding in box:
+            touched[binding[0]] = None
+            worklist.push(binding, binding[0])
+        # Incremental propagation along intra-region binding edges, one
+        # delta per pop, in reverse-postorder priority of the binding's
+        # procedure.
+        while worklist:
+            proc, key = worklist.pop()
+            if budget is not None:
+                budget.check_passes(worklist.passes - mark)
+            for callee, keys in engine.apply_deltas(proc, (key,)).items():
+                touched[callee] = None
+                for lowered_key in keys:
+                    worklist.push((callee, lowered_key), callee)
+        local = worklist.passes - mark
+        result.region_passes += local
+        if local > max_local:
+            max_local = local
+        for caller in touched:
+            for callee, keys in engine.flush_region(caller).items():
+                deliver(callee, keys)
+    result.passes = max_local
+    result.pops = worklist.pops
+    return result
+
+
+def _solve_binding_legacy(
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    forward: ForwardFunctions,
+    *,
+    sanitizer=None,
+    budget=None,
+) -> SolveResult:
+    """The PR-2 global schedule over the binding multi-graph (kept for
+    schedule-comparison tests; computes the identical fixpoint)."""
     result = SolveResult(val=initial_val(lowered))
     engine = DeltaEngine(
         forward.support_index(lowered), result.val, result, sanitizer, budget

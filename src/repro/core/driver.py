@@ -46,7 +46,7 @@ from repro.core.config import AnalysisConfig, JumpFunctionKind
 from repro.core.exprs import intern_counters
 from repro.core.lattice import LatticeValue
 from repro.core.returns import ReturnFunctionResult, build_return_jump_functions
-from repro.core.solver import SolveResult, bottom_val, solve, solve_dense
+from repro.core.solver import SolveResult, WarmStart, bottom_val, solve, solve_dense
 from repro.core.substitute import (
     SubstitutionReport,
     compute_substitutions,
@@ -60,9 +60,18 @@ from repro.resilience.errors import (
     CODE_DEGRADED_DENSE,
     CODE_DEGRADED_FLOOR,
     CODE_DEGRADED_LADDER,
+    CODE_STORE_FALLBACK,
+    CODE_STORE_RESET,
     BudgetExhaustedError,
     DegradationRecord,
     Stage,
+)
+from repro.store.artifacts import MemoryStore, StoreError, StoreIndexError
+from repro.store.fingerprints import config_key as _store_config_key
+from repro.store.incremental import (
+    IncrementalReport,
+    plan_warm_start,
+    publish_snapshot,
 )
 
 
@@ -204,6 +213,7 @@ class _Artifacts:
     returns: ReturnFunctionResult
     forward: ForwardFunctions
     solved: SolveResult
+    incremental: IncrementalReport | None = None
 
 
 @dataclass
@@ -226,6 +236,9 @@ class AnalysisResult:
     #: planned quality losses the resilience layer took (ladder steps,
     #: sparse→dense fallback, baseline floor) — empty on a healthy run.
     degradations: tuple[DegradationRecord, ...] = ()
+    #: what the artifact-store pre-pass did (``None`` unless the run was
+    #: requested with ``incremental=True`` and a store).
+    incremental: IncrementalReport | None = None
 
     # -- the paper's numbers -------------------------------------------------
 
@@ -281,7 +294,46 @@ class AnalysisResult:
         lines.append(f"  degradations {len(self.degradations)}")
         for record in self.degradations:
             lines.append(f"  {record.describe()}")
+        if self.incremental is not None:
+            lines.append("store:")
+            lines.append(f"  mode {self.incremental.mode}")
+            for key, value in self.incremental.counters().items():
+                lines.append(f"  {key} {value}")
         return "\n".join(lines)
+
+    def stats_json(self) -> dict:
+        """The ``--profile-json`` payload: per-stage timings (ms) plus
+        every solver, cache, region, and store counter as plain JSON."""
+        stage_keys = ("lower", "modref", "returns", "forward", "solve", "record")
+        timings_ms = {
+            key: value * 1000.0
+            for key, value in self.timings.items()
+            if key != "stage0_cached"
+        }
+        payload = {
+            "timings_ms": {
+                key: timings_ms.pop(key) for key in stage_keys if key in timings_ms
+            },
+            "solver_counters": dict(self.solved.counters()),
+            "pipeline": {
+                "stage0_cached": 1 if self.stage0_cached else 0,
+                **intern_counters(),
+            },
+            "resilience": {
+                "degradations": [r.describe() for r in self.degradations],
+            },
+            "result": {
+                "constants_found": self.constants_found,
+                "references_substituted": self.references_substituted,
+            },
+        }
+        payload["timings_ms"].update(timings_ms)  # extras (complete, dce, …)
+        if self.incremental is not None:
+            payload["store"] = {
+                "mode": self.incremental.mode,
+                **self.incremental.counters(),
+            }
+        return payload
 
     def resilience_diagnostics(self):
         """The RL5xx diagnostics for every degradation this run took
@@ -314,13 +366,16 @@ def _attempt_solve(
     config: AnalysisConfig,
     budget: SolveBudget | None,
     degradations: list[DegradationRecord],
+    warm: WarmStart | None = None,
 ) -> SolveResult:
     """Stage 3: the sparse solver, with the dense reference solver as a
     crash fallback (RL511). Budget exhaustion is *not* a crash — it
-    propagates so the degradation ladder can pick a cheaper rung."""
+    propagates so the degradation ladder can pick a cheaper rung. The
+    dense fallback always runs cold: a warm plan that provoked a crash
+    must not poison the recovery path."""
     try:
         chaos_point(Stage.SOLVE, scope="sparse")
-        return solve(lowered, graph, forward, budget=budget)
+        return solve(lowered, graph, forward, budget=budget, warm=warm)
     except BudgetExhaustedError:
         raise
     except Exception as exc:
@@ -338,6 +393,58 @@ def _attempt_solve(
         return solve_dense(lowered, graph, forward, budget=budget)
 
 
+def _plan_incremental(
+    store,
+    cfg_key: str,
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    modref: ModRefInfo,
+    forward: ForwardFunctions,
+    degradations: list[DegradationRecord],
+) -> tuple[WarmStart | None, IncrementalReport]:
+    """The incremental pre-pass: load the latest snapshot, diff
+    fingerprints, and plan the warm start. Any store problem degrades to
+    a cold run (RL530/RL531) — never an analysis failure."""
+    try:
+        snapshot = store.load_snapshot(cfg_key, lowered.program.main)
+    except StoreIndexError as exc:
+        degradations.append(
+            DegradationRecord(
+                code=CODE_STORE_RESET,
+                from_label="store",
+                to_label="reset",
+                counter="store",
+                detail=str(exc),
+            )
+        )
+        return None, IncrementalReport(mode="cold", detail="index reset")
+    if snapshot is None:
+        return None, IncrementalReport(mode="cold", detail="no snapshot")
+    try:
+        return plan_warm_start(
+            store,
+            snapshot,
+            cfg_key=cfg_key,
+            lowered=lowered,
+            graph=graph,
+            modref=modref,
+            forward=forward,
+        )
+    except StoreError as exc:
+        degradations.append(
+            DegradationRecord(
+                code=CODE_STORE_FALLBACK,
+                from_label="warm",
+                to_label="cold",
+                counter="store",
+                detail=str(exc),
+            )
+        )
+        return None, IncrementalReport(
+            mode="fallback", store_fallbacks=1, detail=str(exc)
+        )
+
+
 def _config_stages(
     lowered: LoweredProgram,
     graph: CallGraph,
@@ -346,6 +453,8 @@ def _config_stages(
     timings: dict[str, float],
     ssa_cache: SSACache | None = None,
     degradations: list[DegradationRecord] | None = None,
+    store=None,
+    incremental: bool = False,
 ) -> _Artifacts:
     """Stages 1–3 for one configuration over prebuilt stage-0 artifacts.
 
@@ -355,6 +464,13 @@ def _config_stages(
     kind, RL510 recorded) and the solve retries with fresh fuel; below
     the last rung VAL floors to the always-sound intraprocedural
     baseline (RL512). Every step lands in ``degradations``.
+
+    With a ``store``, a healthy solve publishes its snapshot (keyed by
+    configuration and main program); with ``incremental`` too, the first
+    ladder attempt warm-starts from the previous snapshot's clean
+    regions. Degraded rungs always run cold, and degraded results are
+    never published (only RL530/RL531 — store trouble itself — may
+    accompany a publication, which is how a corrupt store self-heals).
     """
     if degradations is None:
         degradations = []
@@ -365,6 +481,8 @@ def _config_stages(
         effective = replace(config, use_return_jump_functions=False)
 
     budget = SolveBudget.from_config(config)
+    cfg_key = _store_config_key(effective) if store is not None else ""
+    store_report: IncrementalReport | None = None
     kind = effective.jump_function
     while True:
         current = (
@@ -390,13 +508,26 @@ def _config_stages(
             timings.get("forward", 0.0) + time.perf_counter() - start
         )
 
+        warm: WarmStart | None = None
+        if (
+            store is not None
+            and incremental
+            and store_report is None
+            and not current.intraprocedural_only
+            and kind is effective.jump_function
+        ):
+            warm, store_report = _plan_incremental(
+                store, cfg_key, lowered, graph, modref, forward, degradations
+            )
+
         start = time.perf_counter()
         try:
             if current.intraprocedural_only:
                 solved = _intraprocedural_solved(lowered)
             else:
                 solved = _attempt_solve(
-                    lowered, graph, forward, current, budget, degradations
+                    lowered, graph, forward, current, budget, degradations,
+                    warm=warm,
                 )
             break
         except BudgetExhaustedError as exc:
@@ -428,7 +559,37 @@ def _config_stages(
                 timings.get("solve", 0.0) + time.perf_counter() - start
             )
 
-    return _Artifacts(graph, modref, returns, forward, solved)
+    if (
+        store is not None
+        and not current.intraprocedural_only
+        and all(
+            record.code in (CODE_STORE_FALLBACK, CODE_STORE_RESET)
+            for record in degradations
+        )
+    ):
+        try:
+            publish_snapshot(
+                store,
+                cfg_key=cfg_key,
+                lowered=lowered,
+                graph=graph,
+                modref=modref,
+                forward=forward,
+                returns_table=returns.table,
+                solved=solved,
+            )
+        except (StoreError, OSError, ValueError) as exc:
+            degradations.append(
+                DegradationRecord(
+                    code=CODE_STORE_RESET,
+                    from_label="publish",
+                    to_label="skipped",
+                    counter="store",
+                    detail=str(exc),
+                )
+            )
+
+    return _Artifacts(graph, modref, returns, forward, solved, store_report)
 
 
 def _intraprocedural_solved(lowered: LoweredProgram) -> SolveResult:
@@ -446,12 +607,22 @@ def analyze(
     config: AnalysisConfig | None = None,
     *,
     cache: Stage0Cache | None = GLOBAL_STAGE0_CACHE,
+    store=None,
+    incremental: bool = False,
 ) -> AnalysisResult:
     """Run the full analyzer over MiniFortran source (or a parsed Program).
 
     Stage 0 is fetched from ``cache`` (the module-level
     :data:`GLOBAL_STAGE0_CACHE` by default; pass ``cache=None`` to force a
     fresh build — the cache-correctness tests diff the two paths).
+
+    ``store`` (an :class:`repro.store.artifacts.ArtifactStore` or
+    :class:`~repro.store.artifacts.MemoryStore`) persists the run's
+    jump functions and solution as a snapshot; with ``incremental=True``
+    the solve warm-starts from the store's previous snapshot, re-solving
+    only the regions the fingerprint diff invalidated. Complete
+    propagation ignores the store entirely: its DCE loop rewrites the
+    program between rounds, so there is no stable identity to key on.
     """
     config = config or AnalysisConfig()
     program = parse_program(source) if isinstance(source, str) else source
@@ -498,6 +669,8 @@ def analyze(
             stage0.lowered, stage0.graph, stage0.modref, config, timings,
             ssa_cache=stage0.ssa_cache,
             degradations=degradations,
+            store=store,
+            incremental=incremental,
         )
 
     chaos_point(Stage.SUBSTITUTE)
@@ -520,23 +693,72 @@ def analyze(
         timings=timings,
         stage0_cached=stage0_cached,
         degradations=tuple(degradations),
+        incremental=artifacts.incremental,
     )
 
 
 class Analyzer:
-    """Parse once, build stage 0 once, analyze under many configurations."""
+    """Parse once, build stage 0 once, analyze under many configurations.
 
-    def __init__(self, source: str | Program, cache: Stage0Cache | None = None):
+    Every run publishes its snapshot to ``store`` (an in-process
+    :class:`~repro.store.artifacts.MemoryStore` by default, so nothing
+    touches disk unless the caller passes an
+    :class:`~repro.store.artifacts.ArtifactStore`), which is what makes
+    :meth:`reanalyze` work out of the box: edit the source, and only the
+    regions the fingerprint diff invalidates are re-solved.
+    """
+
+    def __init__(
+        self,
+        source: str | Program,
+        cache: Stage0Cache | None = None,
+        store=None,
+    ):
         self.program = parse_program(source) if isinstance(source, str) else source
         self.cache = cache if cache is not None else GLOBAL_STAGE0_CACHE
+        self.store = store if store is not None else MemoryStore()
 
     @property
     def stage0(self) -> Stage0Artifacts:
         """The shared configuration-independent artifacts."""
         return self.cache.get(self.program)
 
-    def run(self, config: AnalysisConfig | None = None) -> AnalysisResult:
-        return analyze(self.program, config, cache=self.cache)
+    def run(
+        self,
+        config: AnalysisConfig | None = None,
+        *,
+        incremental: bool = False,
+    ) -> AnalysisResult:
+        return analyze(
+            self.program,
+            config,
+            cache=self.cache,
+            store=self.store,
+            incremental=incremental,
+        )
+
+    def reanalyze(
+        self,
+        new_source: str | Program,
+        config: AnalysisConfig | None = None,
+    ) -> AnalysisResult:
+        """Swap in edited source and re-run incrementally.
+
+        The previous :meth:`run` (or ``reanalyze``) left a snapshot in
+        :attr:`store`; this run diffs procedure fingerprints against it,
+        re-solves only the invalidated regions, and adopts the stored
+        fixed points for everything clean. The result is equivalent to a
+        from-scratch :func:`analyze` of ``new_source`` — the property
+        tests assert byte-identical CONSTANTS sets and substitution
+        counts — just cheaper (see ``result.incremental`` and the
+        ``regions_warm`` solver counter).
+        """
+        self.program = (
+            parse_program(new_source)
+            if isinstance(new_source, str)
+            else new_source
+        )
+        return self.run(config, incremental=True)
 
     def sweep(
         self, configs: dict[str, AnalysisConfig]

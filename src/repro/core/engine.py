@@ -145,6 +145,71 @@ class SupportIndex:
         return sum(len(edges) for edges in self.seeds.values())
 
 
+class RegionPartition:
+    """The :class:`SupportIndex` split along region boundaries.
+
+    Region-scheduled solves converge one SCC at a time, so a binding
+    edge whose callee sits in a *different* region than its caller never
+    needs to see an intermediate caller environment: every jump function
+    is monotone, and the caller's region is converged before the
+    callee's region starts, so evaluating the edge once with the
+    caller's *final* environment meets the identical value into the
+    callee that repeated intermediate evaluations would have (each
+    intermediate result only re-lowers toward the final one). The
+    partition therefore routes intra-region edges through the normal
+    seed/delta discipline and defers every cross-region edge and kill to
+    one :meth:`DeltaEngine.flush_region` call at region end.
+    """
+
+    __slots__ = (
+        "internal_seeds",
+        "external_seeds",
+        "internal_kills",
+        "external_kills",
+        "internal_dependents",
+        "region_of",
+    )
+
+    def __init__(self, index: SupportIndex, region_of: Mapping[str, int]):
+        self.region_of = region_of
+        self.internal_seeds: dict[str, tuple[BindingEdge, ...]] = {}
+        self.external_seeds: dict[str, tuple[BindingEdge, ...]] = {}
+        for proc, edges in index.seeds.items():
+            home = region_of[proc]
+            internal = tuple(
+                edge for edge in edges if region_of[edge.callee] == home
+            )
+            external = tuple(
+                edge for edge in edges if region_of[edge.callee] != home
+            )
+            if internal:
+                self.internal_seeds[proc] = internal
+            if external:
+                self.external_seeds[proc] = external
+        self.internal_kills: dict[str, tuple[Binding, ...]] = {}
+        self.external_kills: dict[str, tuple[Binding, ...]] = {}
+        for proc, pairs in index.kills.items():
+            home = region_of[proc]
+            internal = tuple(
+                pair for pair in pairs if region_of[pair[0]] == home
+            )
+            external = tuple(
+                pair for pair in pairs if region_of[pair[0]] != home
+            )
+            if internal:
+                self.internal_kills[proc] = internal
+            if external:
+                self.external_kills[proc] = external
+        self.internal_dependents: dict[Binding, tuple[BindingEdge, ...]] = {}
+        for binding, edges in index.dependents.items():
+            home = region_of[binding[0]]
+            internal = tuple(
+                edge for edge in edges if region_of[edge.callee] == home
+            )
+            if internal:
+                self.internal_dependents[binding] = internal
+
+
 def build_support_index(
     lowered: LoweredProgram, sites: Mapping[int, CallSiteFunctions]
 ) -> SupportIndex:
@@ -212,7 +277,18 @@ class DeltaEngine:
     :class:`~repro.resilience.errors.BudgetExhaustedError` fires.
     """
 
-    __slots__ = ("_index", "_val", "_stats", "_memo", "_sanitizer", "_budget")
+    __slots__ = (
+        "_index",
+        "_val",
+        "_stats",
+        "_memo",
+        "_sanitizer",
+        "_budget",
+        "_partition",
+        "_seeds",
+        "_kills",
+        "_dependents",
+    )
 
     def __init__(
         self,
@@ -221,6 +297,7 @@ class DeltaEngine:
         stats,
         sanitizer=None,
         budget=None,
+        partition: RegionPartition | None = None,
     ):
         self._index = index
         self._val = val
@@ -228,6 +305,18 @@ class DeltaEngine:
         self._memo: dict[tuple, LatticeValue] = {}
         self._sanitizer = sanitizer
         self._budget = budget
+        self._partition = partition
+        # With a partition, seed/delta traffic is intra-region only;
+        # cross-region edges wait for flush_region. Without one (the
+        # legacy schedule) the full index drives everything.
+        if partition is None:
+            self._seeds = index.seeds
+            self._kills = index.kills
+            self._dependents = index.dependents
+        else:
+            self._seeds = partition.internal_seeds
+            self._kills = partition.internal_kills
+            self._dependents = partition.internal_dependents
 
     def callees(self, caller: str) -> tuple[str, ...]:
         return self._index.callees.get(caller, ())
@@ -251,7 +340,7 @@ class DeltaEngine:
         sanitizer = self._sanitizer
         changed: dict[str, dict[EntryKey, None]] = {}
         evaluations = meets = bottom_skips = 0
-        for edge in self._index.seeds.get(caller, ()):
+        for edge in self._seeds.get(caller, ()):
             callee = edge.callee
             env = val[callee]
             key = edge.key
@@ -289,7 +378,7 @@ class DeltaEngine:
         stats.evaluations += evaluations
         stats.meets += meets
         stats.bottom_skips += bottom_skips
-        for callee, key in self._index.kills.get(caller, ()):
+        for callee, key in self._kills.get(caller, ()):
             stats.skipped += 1
             env = val[callee]
             old = env[key]
@@ -316,7 +405,7 @@ class DeltaEngine:
         callee (same shape as :meth:`seed`)."""
         changed: dict[str, dict[EntryKey, None]] = {}
         visited: set[int] = set()
-        dependents = self._index.dependents
+        dependents = self._dependents
         stats = self._stats
         for key in keys:
             stats.deltas += 1
@@ -330,6 +419,86 @@ class DeltaEngine:
                     if lowered_keys is None:
                         lowered_keys = changed[edge.callee] = {}
                     lowered_keys[edge.key] = None
+        if self._budget is not None:
+            self._budget.check_engine(stats)
+        return changed
+
+    def flush_region(
+        self, caller: str, only: set[str] | None = None
+    ) -> dict[str, dict[EntryKey, None]]:
+        """Evaluate ``caller``'s cross-region binding edges (and apply
+        its cross-region kills) exactly once, with the caller's — by now
+        final — environment. Region-scheduled solves call this when the
+        caller's region has converged; ``only`` restricts the flush to
+        the named callees (the warm-start frontier from a clean caller
+        into invalidated regions). Returns lowered callee bindings in
+        the same shape as :meth:`seed`. Requires a partition.
+        """
+        partition = self._partition
+        changed: dict[str, dict[EntryKey, None]] = {}
+        sanitizer = self._sanitizer
+        val = self._val
+        caller_env = val[caller]
+        # On DAG-shaped call graphs every region is a singleton, so this
+        # loop — not seed() — carries nearly all of the propagation;
+        # like seed() it inlines the edge transfer and batches counters
+        # in locals instead of paying a _evaluate_edge call per edge.
+        evaluations = meets = bottom_skips = 0
+        for edge in partition.external_seeds.get(caller, ()):
+            callee = edge.callee
+            if only is not None and callee not in only:
+                continue
+            env = val[callee]
+            key = edge.key
+            old = env[key]
+            if old is BOTTOM:
+                bottom_skips += 1  # already at the lattice floor
+                continue
+            incoming = edge.const
+            if incoming is None:
+                expr = edge.expr
+                if expr.__class__ is EntryExpr:
+                    # pass-through: the evaluation *is* the env fetch
+                    evaluations += 1
+                    incoming = caller_env.get(expr.key, BOTTOM)
+                elif edge.support:
+                    incoming = self._poly_value(expr, edge.support, caller_env)
+                else:
+                    # support-free and not constant ⇒ ⊥
+                    bottom_skips += 1
+                    incoming = BOTTOM
+            if sanitizer is not None:
+                sanitizer.observe_transfer(edge.site_id, callee, key, incoming)
+            meets += 1
+            new = incoming if old is TOP else meet(old, incoming)
+            if new != old:
+                if sanitizer is not None:
+                    sanitizer.observe_update(callee, key, old, new)
+                env[key] = new
+                keys = changed.get(callee)
+                if keys is None:
+                    keys = changed[callee] = {}
+                keys[key] = None
+        stats = self._stats
+        stats.evaluations += evaluations
+        stats.meets += meets
+        stats.bottom_skips += bottom_skips
+        for callee, key in partition.external_kills.get(caller, ()):
+            if only is not None and callee not in only:
+                continue
+            stats.skipped += 1
+            env = val[callee]
+            old = env[key]
+            if old is BOTTOM:
+                continue
+            stats.meets += 1
+            if sanitizer is not None:
+                sanitizer.observe_update(callee, key, old, BOTTOM)
+            env[key] = BOTTOM  # meet(old, ⊥) is ⊥ for every old
+            keys = changed.get(callee)
+            if keys is None:
+                keys = changed[callee] = {}
+            keys[key] = None
         if self._budget is not None:
             self._budget.check_engine(stats)
         return changed

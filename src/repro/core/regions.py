@@ -1,0 +1,89 @@
+"""SCC region scheduling for the stage-3 solvers.
+
+The call graph's condensation is a DAG whose nodes — *regions* — are the
+strongly connected components Tarjan finds. Interprocedural values only
+flow along call edges, so once every region that can call into region R
+has reached its local fixed point, R's entry environments are final: R
+itself can then be converged *exactly once*, and its cross-region call
+sites evaluated exactly once with final environments. The region
+schedule is the topological order of the condensation that makes this
+block-triangular solve legal (callers before callees — the direction
+constants flow in stage 3, the mirror image of the bottom-up stage-1
+walk over the same components).
+
+Regions are ordered by the minimum reverse-postorder index of their
+members. For components reachable from the main program this is a valid
+topological order of the condensation: the minimum-rpo member of an SCC
+is the first one the rpo DFS discovers, all other members finish inside
+its subtree, and a condensation edge A->B forces B's root to finish
+before A's. Components unreachable from the main program sort after the
+reachable ones (rpo appends them in name order); their relative order is
+name-based, not topological — harmless, because the solvers never seed
+an unreached procedure, so no value ever crosses between them. The
+solver loop still tolerates a flush into an earlier region defensively
+(it re-queues the region) rather than relying on this argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.callgraph.graph import CallGraph
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """One strongly connected component of the call graph."""
+
+    index: int
+    members: tuple[str, ...]
+    #: True when the region can iterate: more than one member, or a
+    #: single member that calls itself.
+    recursive: bool
+
+
+@dataclass(frozen=True, slots=True)
+class RegionSchedule:
+    """The condensation in caller-first topological order."""
+
+    regions: tuple[Region, ...]
+    #: procedure name -> index into :attr:`regions`.
+    region_of: dict[str, int]
+
+    def region(self, proc: str) -> Region:
+        return self.regions[self.region_of[proc]]
+
+    def order(self) -> list[tuple[str, ...]]:
+        """The member tuples in schedule order (for tests/reports)."""
+        return [region.members for region in self.regions]
+
+
+def build_region_schedule(graph: CallGraph) -> RegionSchedule:
+    """Condense ``graph`` and order the components callers-first."""
+    rpo = graph.rpo_index()
+    components = sorted(
+        graph.sccs(), key=lambda scc: min(rpo[name] for name in scc)
+    )
+    regions = []
+    region_of: dict[str, int] = {}
+    for index, members in enumerate(components):
+        recursive = len(members) > 1 or any(
+            callee == members[0] for callee in graph.callees(members[0])
+        )
+        regions.append(Region(index, tuple(members), recursive))
+        for name in members:
+            region_of[name] = index
+    return RegionSchedule(tuple(regions), region_of)
+
+
+def region_schedule(graph: CallGraph) -> RegionSchedule:
+    """The graph's region schedule, computed once per graph instance.
+
+    Stage 0 is shared across a whole configuration sweep, so every solve
+    of every config reuses one condensation.
+    """
+    cached = getattr(graph, "_region_schedule", None)
+    if cached is None:
+        cached = build_region_schedule(graph)
+        graph._region_schedule = cached  # type: ignore[attr-defined]
+    return cached

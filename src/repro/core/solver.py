@@ -15,15 +15,33 @@ statistics distinguish ``pops`` (worklist extractions) from ``passes``
 (monotone sweeps in priority order) — the quantity the §3.1.5 cost
 analysis multiplies against per-pass jump-function evaluation cost.
 
-:func:`solve` is **sparse**: it drives the shared
-:class:`~repro.core.engine.DeltaEngine` so each procedure's call sites
-are evaluated once at first reach and thereafter only the jump functions
-whose support keys actually lowered are re-evaluated.
+:func:`solve` is **sparse and region-scheduled**: it condenses the call
+graph into SCC regions (:mod:`repro.core.regions`) and converges each
+region to its local fixed point exactly once, callers-first, before any
+cross-region call site is evaluated — so every cross-region jump
+function is evaluated exactly once, with its caller's final environment
+(sound because jump functions are monotone: the deferred single
+evaluation meets the same value the skipped intermediate ones would
+have converged to). Within a region the shared
+:class:`~repro.core.engine.DeltaEngine` applies the usual sparse
+discipline: seed once at first reach, re-evaluate only on support
+deltas. In region mode ``passes`` is the *maximum* per-region sweep
+count — the worst-case number of times any single jump function is
+re-evaluated, which is what §3.1.5 charges — while ``region_passes``
+totals the per-region sweeps and ``regions`` counts converged regions.
+``region_scheduled=False`` runs the PR-2 global-worklist schedule
+(kept for comparison benchmarks and tests).
+
+A :class:`WarmStart` lets an incremental re-analysis adopt stored
+fixed-point environments for regions whose inputs provably did not
+change: clean regions are never seeded, and only the frontier edges
+from reached clean callers into invalidated regions are evaluated.
+
 :func:`solve_dense` keeps the original re-evaluate-everything algorithm
 as the reference implementation the sparse engine is cross-checked and
-benchmarked against — both compute the same greatest fixpoint, so their
-VAL sets (and therefore CONSTANTS sets and Table 2/3 counts) agree
-exactly.
+benchmarked against — all schedules compute the same greatest fixpoint,
+so their VAL sets (and therefore CONSTANTS sets and Table 2/3 counts)
+agree exactly.
 
 Because the lattice has bounded depth (each value lowers at most twice),
 the solver terminates after O(Σ |keys|) meets; the cost of each pass is
@@ -39,9 +57,10 @@ from dataclasses import dataclass, field
 
 from repro.callgraph.graph import CallGraph
 from repro.core.builder import ForwardFunctions
-from repro.core.engine import DeltaEngine, entry_keys
+from repro.core.engine import DeltaEngine, RegionPartition, entry_keys
 from repro.core.exprs import EntryKey
 from repro.core.lattice import BOTTOM, TOP, LatticeValue, is_constant, meet
+from repro.core.regions import region_schedule
 from repro.frontend.symbols import GlobalId
 from repro.ir.lower import LoweredProgram
 
@@ -77,6 +96,12 @@ class SolveResult:
     memo_hits: int = 0
     memo_misses: int = 0
     bottom_skips: int = 0
+    #: SCC regions converged by this solve (0 under the legacy schedule).
+    regions: int = 0
+    #: total per-region sweeps — Σ of each region's local pass count.
+    region_passes: int = 0
+    #: regions adopted from a warm start instead of being converged.
+    regions_warm: int = 0
 
     def constants(self, proc: str) -> dict[EntryKey, LatticeValue]:
         """CONSTANTS(p): the entry keys proven constant (paper §2)."""
@@ -101,7 +126,31 @@ class SolveResult:
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
             "bottom_skips": self.bottom_skips,
+            "regions": self.regions,
+            "region_passes": self.region_passes,
+            "regions_warm": self.regions_warm,
         }
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Stored region solutions an incremental re-analysis trusts.
+
+    ``clean`` names the procedures whose jump functions, fingerprints,
+    and entire caller cones are unchanged since the snapshot —
+    cleanliness is closed under "all callers clean", so a clean
+    procedure's entry environment is provably identical to the stored
+    one. ``envs`` holds those stored environments and ``reached`` the
+    clean procedures the snapshot's solve reached (reachability of a
+    clean procedure cannot have changed either, for the same reason).
+    The solver adopts clean regions wholesale and converges only the
+    invalidated ones, evaluating each frontier edge (reached clean
+    caller → invalid callee) exactly once.
+    """
+
+    clean: frozenset[str]
+    envs: dict[str, dict[EntryKey, LatticeValue]]
+    reached: frozenset[str]
 
 
 def initial_val(lowered: LoweredProgram) -> dict[str, dict[EntryKey, LatticeValue]]:
@@ -182,6 +231,41 @@ class _PriorityWorklist:
         self._last_priority = priority
         return item
 
+    def begin_segment(self) -> int:
+        """Open a new pass-counting segment (one region's convergence):
+        the next pop starts a fresh ascending run instead of comparing
+        against the previous region's last priority — SCC member
+        priorities of different regions may interleave, and a cross-
+        boundary comparison would count spurious sweeps. Returns the
+        pass count at the boundary, so ``passes - mark`` is the
+        segment-local sweep count."""
+        self._last_priority = None
+        return self.passes
+
+
+def _partition_for(
+    forward: ForwardFunctions,
+    lowered: LoweredProgram,
+    region_of: dict[str, int],
+) -> RegionPartition:
+    """The forward functions' support index split along region
+    boundaries, computed once per (ForwardFunctions, schedule) pair —
+    repeated solves over one stage-2 output share the split."""
+    index = forward.support_index(lowered)
+    cached = getattr(forward, "_region_partition", None)
+    if cached is not None:
+        cached_index, cached_region_of, partition = cached
+        if cached_index is index and cached_region_of is region_of:
+            return partition
+    partition = RegionPartition(index, region_of)
+    try:
+        # keyed by index identity: tampering with the site table and
+        # clearing forward.index (tests do) must invalidate the split
+        forward._region_partition = (index, region_of, partition)  # type: ignore[attr-defined]
+    except AttributeError:
+        pass  # slotted stand-ins simply rebuild per solve
+    return partition
+
 
 def solve(
     lowered: LoweredProgram,
@@ -190,13 +274,18 @@ def solve(
     *,
     sanitizer=None,
     budget=None,
+    region_scheduled: bool = True,
+    warm: WarmStart | None = None,
 ) -> SolveResult:
     """Sparse delta-driven propagation to a fixpoint (procedure-grained).
 
-    Pops follow the same reverse-postorder priority schedule as the dense
-    reference, but a popped procedure only evaluates (a) every jump
-    function at its sites, once, when first reached, or (b) the jump
-    functions whose support keys lowered since its last visit.
+    By default the solve is region-scheduled: the call graph's SCC
+    condensation is processed callers-first, each region converging to
+    its local fixed point exactly once before any of its cross-region
+    call sites is evaluated (see the module docstring for why that is
+    sound and what it does to the counters). ``region_scheduled=False``
+    selects the legacy global-worklist schedule; ``warm`` (region mode
+    only) adopts stored fixed points for clean regions.
 
     ``sanitizer`` (e.g. a
     :class:`repro.diagnostics.sanitizer.LatticeSanitizer`) observes every
@@ -207,8 +296,185 @@ def solve(
     passes here and evaluation/meet fuel inside the engine; exhaustion
     raises :class:`~repro.resilience.errors.BudgetExhaustedError`, which
     the driver's degradation ladder converts into a cheaper jump
-    function rather than a dead result.
+    function rather than a dead result. In region mode the pass cap
+    applies to each region's local sweep count — the same §3.1.5
+    quantity the legacy global count approximated.
     """
+    if sanitizer is not None:
+        # Sanitizing is about observability, not speed: the sanitizer's
+        # monotone-descent check needs to see *every* transfer of an
+        # iterating schedule, and region deferral evaluates cross-region
+        # edges exactly once — which would hide, say, a non-monotone
+        # jump function sitting on one. Sanitized solves therefore run
+        # the fully iterating legacy schedule (and ignore warm starts).
+        region_scheduled = False
+    if not region_scheduled:
+        return _solve_legacy(
+            lowered, graph, forward, sanitizer=sanitizer, budget=budget
+        )
+    schedule = region_schedule(graph)
+    region_of = schedule.region_of
+    result = SolveResult(val=initial_val(lowered))
+    engine = DeltaEngine(
+        forward.support_index(lowered),
+        result.val,
+        result,
+        sanitizer,
+        budget,
+        partition=_partition_for(forward, lowered, region_of),
+    )
+    worklist = _PriorityWorklist(graph.rpo_index())
+    #: procedure -> entry keys that lowered since its last visit
+    #: (insertion-ordered so counter totals are run-to-run deterministic).
+    pending: dict[str, dict[EntryKey, None]] = defaultdict(dict)
+    seeded: set[str] = set()
+    #: region index -> members reached but not yet processed there.
+    active: dict[int, set[str]] = {}
+    #: region index -> deltas delivered after the region converged
+    #: (defensive: cannot happen on a topologically ordered schedule).
+    inbox: dict[int, dict[str, dict[EntryKey, None]]] = {}
+    dirty: list[int] = []
+    queued: set[int] = set()
+
+    def activate(proc: str) -> None:
+        index = region_of[proc]
+        active.setdefault(index, set()).add(proc)
+        if index not in queued:
+            queued.add(index)
+            heapq.heappush(dirty, index)
+
+    def deliver(proc: str, keys: dict[EntryKey, None]) -> None:
+        # A cross-region flush lowered `proc`'s entry keys. If proc has
+        # not been seeded yet its future seed reads the updated — final —
+        # environment, so no delta bookkeeping is needed; if it has (a
+        # re-queued earlier region), the keys must re-propagate there.
+        if proc in seeded:
+            slot = inbox.setdefault(region_of[proc], {}).setdefault(proc, {})
+            slot.update(keys)
+        activate(proc)
+
+    main = lowered.program.main
+    if warm is not None:
+        clean_regions = {region_of[proc] for proc in warm.clean}
+        result.regions_warm = len(clean_regions)
+        for proc in warm.clean:
+            env = warm.envs.get(proc)
+            if env:
+                result.val[proc].update(env)
+            seeded.add(proc)  # adopted: never seed a clean procedure
+        result.reached.update(warm.reached)
+        # The warm frontier: each reached clean caller evaluates its
+        # edges into invalidated regions exactly once, from its adopted
+        # (final) environment. Edges between clean procedures stay
+        # unevaluated — both endpoints' stored solutions already agree.
+        for proc in sorted(warm.reached, key=worklist.priority_of):
+            invalid = {
+                callee
+                for callee in engine.callees(proc)
+                if callee not in warm.clean
+            }
+            if not invalid:
+                continue
+            for callee in sorted(invalid):
+                activate(callee)
+            for callee, keys in engine.flush_region(proc, only=invalid).items():
+                deliver(callee, keys)
+    if warm is None or main not in warm.clean:
+        activate(main)
+
+    max_local = 0
+    while dirty:
+        index = heapq.heappop(dirty)
+        queued.discard(index)
+        members = active.pop(index, set())
+        box = inbox.pop(index, {})
+        if not members and not box:
+            continue
+        result.regions += 1
+        # Fast path: a non-recursive singleton region (every region of a
+        # DAG-shaped call graph) converges in exactly one visit — seed or
+        # apply deltas, reach callees, flush. Bypassing the worklist
+        # machinery here is what keeps region scheduling from costing
+        # wall-clock on programs with no recursion at all.
+        region = schedule.regions[index]
+        if not box and not region.recursive and len(members) == 1:
+            (proc,) = members
+            if budget is not None:
+                budget.check_passes(1)
+            worklist.pops += 1
+            result.reached.add(proc)
+            if proc not in seeded:
+                seeded.add(proc)
+                pending.pop(proc, None)  # the seed evaluates everything
+                engine.seed(proc)  # a singleton has no internal edges
+            else:
+                deltas = pending.pop(proc, None)
+                if deltas:
+                    engine.apply_deltas(proc, deltas)
+            for callee in engine.callees(proc):
+                activate(callee)
+            result.region_passes += 1
+            if max_local < 1:
+                max_local = 1
+            for callee, keys in engine.flush_region(proc).items():
+                deliver(callee, keys)
+            continue
+        mark = worklist.begin_segment()
+        for proc in sorted(members):
+            worklist.push(proc, proc)
+        for proc, keys in box.items():
+            pending[proc].update(keys)
+            worklist.push(proc, proc)
+        processed: dict[str, None] = {}
+        while worklist:
+            caller = worklist.pop()
+            if budget is not None:
+                budget.check_passes(worklist.passes - mark)
+            result.reached.add(caller)
+            processed[caller] = None
+            if caller not in seeded:
+                seeded.add(caller)
+                pending.pop(caller, None)  # the seed evaluates everything
+                changed = engine.seed(caller)
+            else:
+                deltas = pending.pop(caller, None)
+                changed = engine.apply_deltas(caller, deltas) if deltas else {}
+            for callee, keys in changed.items():
+                # intra-region by construction of the partition
+                pending[callee].update(keys)
+                worklist.push(callee, callee)
+            for callee in engine.callees(caller):
+                if region_of[callee] == index:
+                    if callee not in seeded:
+                        worklist.push(callee, callee)  # reach without deltas
+                else:
+                    activate(callee)  # cross-region reach
+        local = worklist.passes - mark
+        result.region_passes += local
+        if local > max_local:
+            max_local = local
+        # The region is at its local fixed point: evaluate every
+        # cross-region edge of its reached members exactly once.
+        for caller in processed:
+            for callee, keys in engine.flush_region(caller).items():
+                deliver(callee, keys)
+    result.passes = max_local
+    result.pops = worklist.pops
+    return result
+
+
+def _solve_legacy(
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    forward: ForwardFunctions,
+    *,
+    sanitizer=None,
+    budget=None,
+) -> SolveResult:
+    """The PR-2 global-worklist schedule: one reverse-postorder priority
+    queue over the whole call graph, cross-region edges re-evaluated
+    whenever their support lowers. Kept for schedule-comparison tests
+    and benchmarks; computes the identical fixpoint."""
     result = SolveResult(val=initial_val(lowered))
     engine = DeltaEngine(
         forward.support_index(lowered), result.val, result, sanitizer, budget
@@ -217,8 +483,6 @@ def solve(
     worklist = _PriorityWorklist(graph.rpo_index())
     main = lowered.program.main
     worklist.push(main, main)
-    #: procedure -> entry keys that lowered since its last visit
-    #: (insertion-ordered so counter totals are run-to-run deterministic).
     pending: dict[str, dict[EntryKey, None]] = defaultdict(dict)
     seeded: set[str] = set()
     while worklist:

@@ -82,6 +82,13 @@ CODE_FAILURE_BUDGET = describe_code(
 CODE_QUARANTINED = describe_code(
     "RL524", "program quarantined after repeated failures"
 )
+CODE_STORE_FALLBACK = describe_code(
+    "RL530", "incremental warm-start abandoned: store inconsistency, "
+    "fell back to a cold solve"
+)
+CODE_STORE_RESET = describe_code(
+    "RL531", "artifact store reset: unreadable, foreign, or corrupt index"
+)
 
 _FAILURE_CODES = {
     FailureKind.CRASH: CODE_FAILURE_CRASH,

@@ -75,6 +75,12 @@ class SweepPolicy:
     backoff_cap: float = 2.0
     journal_path: str | None = None
     chaos: chaos.ChaosSpec | None = None
+    #: directory of a shared :class:`repro.store.artifacts.ArtifactStore`.
+    #: Every cell (each worker opens the path itself — stores are not
+    #: picklable) runs with ``incremental=True``: it warm-starts from the
+    #: last snapshot for its (config, program) and re-publishes, so a
+    #: repeated sweep only re-solves what changed between invocations.
+    store_path: str | None = None
 
 
 @dataclass
@@ -147,10 +153,15 @@ def _run_task(item) -> _TaskResult:
     columns. Chaos worker-kills are *not* guarded — they must surface as
     worker loss, which is their whole point.
     """
-    name, source, config_items, attempt, spec, in_worker = item
+    name, source, config_items, attempt, spec, in_worker, store_path = item
     if spec is not None:
         chaos.install(spec, label=name, attempt=attempt, in_worker=in_worker)
     try:
+        store = None
+        if store_path is not None:
+            from repro.store.artifacts import ArtifactStore
+
+            store = ArtifactStore(store_path)
         cells: dict[str, SweepSummary] = {}
         failures: list[FailureRecord] = []
         try:
@@ -165,7 +176,10 @@ def _run_task(item) -> _TaskResult:
             before = _cache_snapshot()
             start = time.perf_counter()
             try:
-                result = analyze(program, config)
+                result = analyze(
+                    program, config,
+                    store=store, incremental=store is not None,
+                )
             except Exception as exc:
                 failures.append(
                     FailureRecord.from_exception(
@@ -295,6 +309,7 @@ def run_sweep(
                 attempts[name],
                 policy.chaos,
                 use_processes,
+                policy.store_path,
             )
             for name in pending
         ]

@@ -1,0 +1,23 @@
+"""Persistent content-addressed artifact store for incremental analysis.
+
+- :mod:`repro.store.fingerprints` — canonical serialization of lattice
+  values, entry keys, jump-function expressions, and procedure-level
+  content fingerprints (lowered IR + MOD/REF slice + configuration).
+- :mod:`repro.store.artifacts` — the on-disk store: a fingerprinted,
+  fsync'd, torn-line-tolerant ``index.jsonl`` (same discipline as the
+  resilience journal) over content-addressed ``objects/<sha256>.json``
+  payloads, plus an in-memory stand-in with the same duck type.
+- :mod:`repro.store.incremental` — snapshot construction, the
+  fingerprint/jump-function diff, the invalidation closure, and the
+  warm-start plan the solvers consume.
+"""
+
+from repro.store.artifacts import ArtifactStore, MemoryStore, StoreError
+from repro.store.incremental import IncrementalReport
+
+__all__ = [
+    "ArtifactStore",
+    "MemoryStore",
+    "StoreError",
+    "IncrementalReport",
+]

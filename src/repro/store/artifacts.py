@@ -1,0 +1,203 @@
+"""The persistent content-addressed artifact store.
+
+Layout under the store directory::
+
+    index.jsonl              append-only snapshot index (fsync'd)
+    objects/<sha256>.json    canonical-JSON payloads, content-addressed
+
+``index.jsonl`` follows the resilience journal's discipline: line 0 is a
+header carrying the store schema; a torn final line (crash mid-append)
+is skipped; a missing, foreign, or corrupt header resets the index —
+every object file it pointed at simply becomes garbage that later
+snapshots may re-reference (content addressing makes re-publication
+free). Snapshot lines are keyed by ``(config, program)``; the *last*
+matching line wins, so re-publishing is an append, never a rewrite.
+
+Objects are written canonically (sorted keys, no whitespace) to a
+temporary file and renamed into place, and every read re-hashes the
+bytes against the file's name — a truncated or tampered object can only
+produce a :class:`StoreError`, never a silently wrong payload.
+
+:class:`MemoryStore` is the in-process stand-in with the same duck type
+(the default store of :class:`repro.core.driver.Analyzer`, so
+``reanalyze`` works without touching disk).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.store.fingerprints import SCHEMA, canonical_dumps
+
+_INDEX = "index.jsonl"
+_OBJECTS = "objects"
+
+
+class StoreError(Exception):
+    """A store entry could not be trusted (missing, truncated, foreign,
+    or content-hash mismatch). Callers treat this as "no snapshot" and
+    fall back to a cold run — never as a fatal error."""
+
+
+class StoreIndexError(StoreError):
+    """The index itself was unreadable or foreign and has been reset."""
+
+
+class ArtifactStore:
+    """On-disk store; see the module docstring for the layout."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._objects_dir = os.path.join(path, _OBJECTS)
+        self._index_path = os.path.join(path, _INDEX)
+        os.makedirs(self._objects_dir, exist_ok=True)
+
+    # -- objects --------------------------------------------------------------
+
+    def put_object(self, payload) -> str:
+        """Persist one canonical-JSON payload; returns its sha256 name.
+        Identical payloads across snapshots share one file."""
+        text = canonical_dumps(payload)
+        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        target = os.path.join(self._objects_dir, f"{sha}.json")
+        if os.path.exists(target):
+            # dedup only against a *verified* twin; a corrupted or torn
+            # file on disk gets rewritten so re-publication self-heals
+            try:
+                with open(target, encoding="utf-8") as handle:
+                    if handle.read() == text:
+                        return sha
+            except OSError:
+                pass
+        fd, tmp = tempfile.mkstemp(dir=self._objects_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return sha
+
+    def get_object(self, sha: str):
+        """Load and verify one payload; :class:`StoreError` on any
+        missing, truncated, or corrupted object."""
+        target = os.path.join(self._objects_dir, f"{sha}.json")
+        try:
+            with open(target, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise StoreError(f"object {sha} unreadable: {exc}") from exc
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        if digest != sha:
+            raise StoreError(
+                f"object {sha} failed content verification (got {digest})"
+            )
+        try:
+            return json.loads(text)
+        except ValueError as exc:
+            raise StoreError(f"object {sha} is not JSON: {exc}") from exc
+
+    # -- the snapshot index ---------------------------------------------------
+
+    def append_snapshot(self, config_key: str, program: str, meta: dict) -> None:
+        """Publish a snapshot line (fsync'd append; header written on
+        first use or after a reset)."""
+        if not os.path.exists(self._index_path):
+            self._write_header()
+        line = json.dumps(
+            {
+                "kind": "snapshot",
+                "config": config_key,
+                "program": program,
+                "meta": meta,
+            }
+        )
+        with open(self._index_path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load_snapshot(self, config_key: str, program: str) -> dict | None:
+        """The latest snapshot for ``(config, program)``, or ``None``.
+
+        Torn/malformed body lines are skipped (earlier snapshots still
+        count). A missing index means "no snapshot yet". An unreadable
+        or foreign *header* raises :class:`StoreIndexError` after
+        resetting the index — the caller reports the reset and runs
+        cold.
+        """
+        if not os.path.exists(self._index_path):
+            return None
+        found: dict | None = None
+        header_ok = False
+        with open(self._index_path) as handle:
+            for line_no, line in enumerate(handle):
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # torn write: ignore, keep earlier lines
+                if line_no == 0:
+                    header_ok = (
+                        isinstance(event, dict)
+                        and event.get("kind") == "header"
+                        and event.get("schema") == SCHEMA
+                    )
+                    if not header_ok:
+                        break
+                    continue
+                if not isinstance(event, dict):
+                    continue
+                if event.get("kind") != "snapshot":
+                    continue
+                if (
+                    event.get("config") == config_key
+                    and event.get("program") == program
+                    and isinstance(event.get("meta"), dict)
+                ):
+                    found = event["meta"]  # last matching line wins
+        if not header_ok:
+            self._write_header()
+            raise StoreIndexError(
+                "store index unreadable or foreign; reset to empty"
+            )
+        return found
+
+    def _write_header(self) -> None:
+        with open(self._index_path, "w") as handle:
+            handle.write(
+                json.dumps({"kind": "header", "schema": SCHEMA}) + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+class MemoryStore:
+    """In-process stand-in with the :class:`ArtifactStore` duck type."""
+
+    def __init__(self):
+        self._objects: dict[str, str] = {}
+        self._snapshots: dict[tuple[str, str], dict] = {}
+
+    def put_object(self, payload) -> str:
+        text = canonical_dumps(payload)
+        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        self._objects[sha] = text
+        return sha
+
+    def get_object(self, sha: str):
+        text = self._objects.get(sha)
+        if text is None:
+            raise StoreError(f"object {sha} not present")
+        return json.loads(text)
+
+    def append_snapshot(self, config_key: str, program: str, meta: dict) -> None:
+        self._snapshots[(config_key, program)] = json.loads(json.dumps(meta))
+
+    def load_snapshot(self, config_key: str, program: str) -> dict | None:
+        return self._snapshots.get((config_key, program))

@@ -246,7 +246,15 @@ end
             "memo_hits",
             "memo_misses",
             "bottom_skips",
+            "regions",
+            "region_passes",
+            "regions_warm",
         }
+        # the diamond is acyclic: four singleton regions, one local
+        # sweep each, nothing adopted from a store
+        assert counters["regions"] == 4
+        assert counters["region_passes"] == 4
+        assert counters["regions_warm"] == 0
 
 
 class TestBaselineVal:

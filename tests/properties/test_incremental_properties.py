@@ -1,0 +1,101 @@
+"""Incremental re-analysis is invisible in the results: for any generated
+workload and any single-procedure edit, ``Analyzer.reanalyze`` (warm,
+diffing fingerprints against the published snapshot) must produce the
+same CONSTANTS sets and substitution counts as a from-scratch
+``analyze`` of the edited source.
+
+The edit model mirrors what the incremental machinery is specced
+against: pick one program unit, bump one standalone integer literal in
+its body. That perturbs jump functions, MOD/REF slices, or branch
+feasibility depending on where the literal sat — all of which the
+fingerprint diff must catch.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.driver import Analyzer, analyze
+from repro.workloads.generator import generate
+from repro.workloads.profiles import WorkloadProfile
+
+from .test_solver_equivalence import profile_strategy
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+#: standalone integer literal — never digits embedded in an identifier
+_LITERAL = re.compile(r"(?<![\w.])\d+(?![\w.])")
+
+
+def unit_spans(lines):
+    """(header_index, end_index) for every program unit, header included."""
+    spans, start = [], None
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if start is None and stripped.startswith(
+            ("program", "subroutine", "function", "integer function")
+        ):
+            start = index
+        elif start is not None and stripped == "end":
+            spans.append((start, index))
+            start = None
+    return spans
+
+
+def edit_one_procedure(source, data):
+    """Bump one integer literal inside one unit's body; returns the
+    edited source, or the original when no literal exists to edit."""
+    lines = source.splitlines()
+    editable = []
+    for header, end in unit_spans(lines):
+        for index in range(header + 1, end):
+            if "integer" in lines[index]:
+                continue  # declarations: nothing constant-bearing here
+            for match in _LITERAL.finditer(lines[index]):
+                editable.append((index, match.start(), match.end()))
+    if not editable:
+        return source
+    index, lo, hi = data.draw(st.sampled_from(editable), label="edit site")
+    bump = data.draw(st.integers(1, 7), label="bump")
+    line = lines[index]
+    value = int(line[lo:hi]) + bump
+    lines[index] = line[:lo] + str(value) + line[hi:]
+    return "\n".join(lines) + "\n"
+
+
+@given(profile=profile_strategy, kind=st.sampled_from(list(JumpFunctionKind)),
+       data=st.data())
+@SETTINGS
+def test_reanalyze_matches_from_scratch(profile, kind, data):
+    workload = generate(profile)
+    config = AnalysisConfig(jump_function=kind)
+    edited = edit_one_procedure(workload.source, data)
+
+    analyzer = Analyzer(workload.source)
+    analyzer.run(config)
+    warm = analyzer.reanalyze(edited, config)
+    cold = analyze(edited, config)
+
+    assert warm.incremental is not None
+    assert warm.incremental.store_fallbacks == 0
+    assert warm.solved.reached == cold.solved.reached
+    assert warm.solved.val == cold.solved.val
+    assert warm.all_constants() == cold.all_constants()
+    assert warm.constants_found == cold.constants_found
+    assert warm.references_substituted == cold.references_substituted
+
+
+@given(profile=profile_strategy, data=st.data())
+@SETTINGS
+def test_identical_source_reanalyzes_fully_warm(profile, data):
+    workload = generate(profile)
+    analyzer = Analyzer(workload.source)
+    first = analyzer.run()
+    again = analyzer.reanalyze(workload.source)
+    assert again.incremental.mode == "warm"
+    assert again.incremental.changed == ()
+    assert again.solved.regions == 0
+    assert again.solved.val == first.solved.val
+    assert again.all_constants() == first.all_constants()

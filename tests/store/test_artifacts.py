@@ -1,0 +1,111 @@
+"""Unit tests for the content-addressed artifact store itself."""
+
+import json
+import os
+
+import pytest
+
+from repro.store.artifacts import (
+    ArtifactStore,
+    MemoryStore,
+    StoreError,
+    StoreIndexError,
+)
+from repro.store.fingerprints import SCHEMA
+
+
+@pytest.fixture(params=["disk", "memory"])
+def store(request, tmp_path):
+    if request.param == "disk":
+        return ArtifactStore(str(tmp_path / "store"))
+    return MemoryStore()
+
+
+class TestObjects:
+    def test_roundtrip(self, store):
+        payload = {"b": [1, 2], "a": "x"}
+        sha = store.put_object(payload)
+        assert store.get_object(sha) == payload
+
+    def test_content_addressing_dedups(self, store):
+        assert store.put_object({"k": 1}) == store.put_object({"k": 1})
+        assert store.put_object({"k": 1}) != store.put_object({"k": 2})
+
+    def test_missing_object_is_store_error(self, store):
+        with pytest.raises(StoreError):
+            store.get_object("0" * 64)
+
+    def test_tampered_object_fails_verification(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        sha = store.put_object({"value": 41})
+        target = os.path.join(store.path, "objects", f"{sha}.json")
+        with open(target, "w") as handle:
+            handle.write('{"value":42}')
+        with pytest.raises(StoreError, match="content verification"):
+            store.get_object(sha)
+
+    def test_truncated_object_fails_verification(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        sha = store.put_object({"value": list(range(50))})
+        target = os.path.join(store.path, "objects", f"{sha}.json")
+        text = open(target).read()
+        with open(target, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        with pytest.raises(StoreError):
+            store.get_object(sha)
+
+
+class TestSnapshotIndex:
+    def test_missing_index_means_no_snapshot(self, store):
+        assert store.load_snapshot("cfg", "prog") is None
+
+    def test_roundtrip_last_wins(self, store):
+        store.append_snapshot("cfg", "prog", {"rev": 1})
+        store.append_snapshot("cfg", "other", {"rev": 9})
+        store.append_snapshot("cfg", "prog", {"rev": 2})
+        assert store.load_snapshot("cfg", "prog") == {"rev": 2}
+        assert store.load_snapshot("cfg", "other") == {"rev": 9}
+        assert store.load_snapshot("cfg2", "prog") is None
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.append_snapshot("cfg", "prog", {"rev": 1})
+        store.append_snapshot("cfg", "prog", {"rev": 2})
+        with open(store._index_path) as handle:
+            lines = handle.readlines()
+        with open(store._index_path, "w") as handle:
+            handle.writelines(lines[:-1])
+            handle.write(lines[-1][: len(lines[-1]) // 2])  # torn write
+        assert store.load_snapshot("cfg", "prog") == {"rev": 1}
+
+    def test_foreign_header_resets_index(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.append_snapshot("cfg", "prog", {"rev": 1})
+        with open(store._index_path) as handle:
+            lines = handle.readlines()
+        lines[0] = json.dumps({"kind": "header", "schema": SCHEMA + 1}) + "\n"
+        with open(store._index_path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(StoreIndexError):
+            store.load_snapshot("cfg", "prog")
+        # the reset left a clean, usable index behind
+        assert store.load_snapshot("cfg", "prog") is None
+        store.append_snapshot("cfg", "prog", {"rev": 3})
+        assert store.load_snapshot("cfg", "prog") == {"rev": 3}
+
+    def test_garbage_index_resets(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        os.makedirs(store.path, exist_ok=True)
+        with open(store._index_path, "w") as handle:
+            handle.write("not json at all\n")
+        with pytest.raises(StoreIndexError):
+            store.load_snapshot("cfg", "prog")
+        assert store.load_snapshot("cfg", "prog") is None
+
+    def test_malformed_body_lines_skipped(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.append_snapshot("cfg", "prog", {"rev": 1})
+        with open(store._index_path, "a") as handle:
+            handle.write("}{ torn\n")
+            handle.write(json.dumps({"kind": "noise"}) + "\n")
+        assert store.load_snapshot("cfg", "prog") == {"rev": 1}

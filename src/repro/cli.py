@@ -76,6 +76,15 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--no-degrade", action="store_true",
                              help="fail on budget exhaustion instead of "
                                   "walking the degradation ladder")
+    analyze_cmd.add_argument("--parallel", type=int, default=None,
+                             metavar="N",
+                             help="solve stage 3 on N worker processes, "
+                                  "wave by wave of the SCC condensation "
+                                  "(falls back to sequential on any "
+                                  "pool failure, RL540)")
+    analyze_cmd.add_argument("--compiled", action="store_true",
+                             help="evaluate polynomial jump functions "
+                                  "through compiled closure kernels")
     analyze_cmd.add_argument("--store", default=None, metavar="DIR",
                              help="persistent artifact store directory; the "
                                   "run publishes its jump functions and "
@@ -129,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
     tables_cmd.add_argument("--processes", type=int, default=None,
                             help="fan the table sweeps across N worker "
                                  "processes (default: in-process)")
+    tables_cmd.add_argument("--parallel", type=int, default=None,
+                            metavar="N",
+                            help="solve each cell's stage 3 on N region "
+                                 "workers (wave-parallel schedule; "
+                                 "table counts are unchanged)")
     tables_cmd.add_argument("--timeout", type=float, default=None,
                             metavar="SECONDS",
                             help="per-task wall-clock budget (needs "
@@ -175,6 +189,8 @@ def _config_from(args: argparse.Namespace) -> AnalysisConfig:
         max_evaluations=args.max_evaluations,
         max_meets=args.max_meets,
         degrade_on_budget=not args.no_degrade,
+        parallel_regions=args.parallel,
+        compiled_exprs=args.compiled,
     )
 
 
@@ -372,13 +388,15 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         print()
     if which in ("2", "all"):
         rows, outcome = reporting.run_table2_outcome(
-            args.scale, _tables_policy(args, "table2"))
+            args.scale, _tables_policy(args, "table2"),
+            parallel=args.parallel)
         outcomes["table2"] = outcome
         print(reporting.format_table2(rows, outcome))
         print()
     if which in ("3", "all"):
         rows, outcome = reporting.run_table3_outcome(
-            args.scale, _tables_policy(args, "table3"))
+            args.scale, _tables_policy(args, "table3"),
+            parallel=args.parallel)
         outcomes["table3"] = outcome
         print(reporting.format_table3(rows, outcome))
         print()

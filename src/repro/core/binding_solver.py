@@ -52,19 +52,26 @@ def solve_binding_graph(
     budget=None,
     region_scheduled: bool = True,
     warm: WarmStart | None = None,
+    compiled: bool = False,
 ) -> SolveResult:
     """Propagate VAL sets over the binding multi-graph.
 
-    ``sanitizer``, ``budget``, ``region_scheduled``, and ``warm`` mean
-    exactly what they mean for :func:`repro.core.solver.solve` — in
-    particular an attached sanitizer forces the fully iterating legacy
-    schedule so every transfer stays observable.
+    ``sanitizer``, ``budget``, ``region_scheduled``, ``warm``, and
+    ``compiled`` mean exactly what they mean for
+    :func:`repro.core.solver.solve` — in particular an attached
+    sanitizer forces the fully iterating legacy schedule so every
+    transfer stays observable.
     """
     if sanitizer is not None:
         region_scheduled = False
     if not region_scheduled:
         return _solve_binding_legacy(
-            lowered, graph, forward, sanitizer=sanitizer, budget=budget
+            lowered,
+            graph,
+            forward,
+            sanitizer=sanitizer,
+            budget=budget,
+            compiled=compiled,
         )
     schedule = region_schedule(graph)
     region_of = schedule.region_of
@@ -76,6 +83,7 @@ def solve_binding_graph(
         sanitizer,
         budget,
         partition=_partition_for(forward, lowered, region_of),
+        compiled=compiled,
     )
     worklist = _PriorityWorklist(graph.rpo_index())
     seeded: set[str] = set()
@@ -191,12 +199,18 @@ def _solve_binding_legacy(
     *,
     sanitizer=None,
     budget=None,
+    compiled: bool = False,
 ) -> SolveResult:
     """The PR-2 global schedule over the binding multi-graph (kept for
     schedule-comparison tests; computes the identical fixpoint)."""
     result = SolveResult(val=initial_val(lowered))
     engine = DeltaEngine(
-        forward.support_index(lowered), result.val, result, sanitizer, budget
+        forward.support_index(lowered),
+        result.val,
+        result,
+        sanitizer,
+        budget,
+        compiled=compiled,
     )
     worklist = _PriorityWorklist(graph.rpo_index())
 

@@ -66,6 +66,14 @@ class AnalysisConfig:
     degrade_on_budget: bool = True
     #: retry a crashed sparse solve with the dense reference solver.
     solver_fallback: bool = True
+    #: solve stage 3 over a process pool of this many workers, wave by
+    #: wave of the region condensation (None/0 = sequential). A failed
+    #: parallel solve degrades to the sequential schedule (RL540).
+    parallel_regions: int | None = None
+    #: evaluate polynomial jump functions through compiled closure
+    #: kernels instead of the tree walk (value-identical; see
+    #: :func:`repro.core.exprs.compile_expr`).
+    compiled_exprs: bool = False
 
     def describe(self) -> str:
         parts = [self.jump_function.value]
@@ -88,6 +96,10 @@ class AnalysisConfig:
         ]
         if budgets:
             parts.append("budget[" + ",".join(budgets) + "]")
+        if self.parallel_regions:
+            parts.append(f"parallel[{self.parallel_regions}]")
+        if self.compiled_exprs:
+            parts.append("compiled")
         return "+".join(parts)
 
 

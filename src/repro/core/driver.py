@@ -45,6 +45,7 @@ from repro.core.complete import CompleteStats, run_complete_propagation
 from repro.core.config import AnalysisConfig, JumpFunctionKind
 from repro.core.exprs import intern_counters
 from repro.core.lattice import LatticeValue
+from repro.core.parallel import ParallelSolveError, solve_parallel
 from repro.core.returns import ReturnFunctionResult, build_return_jump_functions
 from repro.core.solver import SolveResult, WarmStart, bottom_val, solve, solve_dense
 from repro.core.substitute import (
@@ -60,6 +61,7 @@ from repro.resilience.errors import (
     CODE_DEGRADED_DENSE,
     CODE_DEGRADED_FLOOR,
     CODE_DEGRADED_LADDER,
+    CODE_PARALLEL_FALLBACK,
     CODE_STORE_FALLBACK,
     CODE_STORE_RESET,
     BudgetExhaustedError,
@@ -372,10 +374,52 @@ def _attempt_solve(
     crash fallback (RL511). Budget exhaustion is *not* a crash — it
     propagates so the degradation ladder can pick a cheaper rung. The
     dense fallback always runs cold: a warm plan that provoked a crash
-    must not poison the recovery path."""
+    must not poison the recovery path.
+
+    ``config.parallel_regions`` first tries the wave-parallel schedule;
+    any parallel failure (worker loss, pool breakage) degrades to this
+    same sequential path with an RL540 record — never a crash. Parallel
+    is skipped for warm starts (the wave scheduler is cold-only), for
+    complete-mode rounds (DCE mutates the lowered program away from its
+    source, which is what pool workers rebuild from), and for programs
+    with no retained source text.
+    """
+    compiled = config.compiled_exprs
     try:
+        if (
+            config.parallel_regions
+            and warm is None
+            and not config.complete
+            and lowered.program.source
+        ):
+            try:
+                chaos_point(Stage.SOLVE, scope="parallel")
+                return solve_parallel(
+                    lowered,
+                    graph,
+                    forward,
+                    workers=config.parallel_regions,
+                    source=lowered.program.source,
+                    config=config,
+                    budget=budget,
+                    compiled=compiled,
+                )
+            except BudgetExhaustedError:
+                raise
+            except ParallelSolveError as exc:
+                degradations.append(
+                    DegradationRecord(
+                        code=CODE_PARALLEL_FALLBACK,
+                        from_label="parallel",
+                        to_label="sequential",
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                )
         chaos_point(Stage.SOLVE, scope="sparse")
-        return solve(lowered, graph, forward, budget=budget, warm=warm)
+        return solve(
+            lowered, graph, forward, budget=budget, warm=warm,
+            compiled=compiled,
+        )
     except BudgetExhaustedError:
         raise
     except Exception as exc:

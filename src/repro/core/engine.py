@@ -37,7 +37,15 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
-from repro.core.exprs import ConstExpr, EntryExpr, EntryKey, ValueExpr
+from repro.core.exprs import (
+    INTERN_TABLE,
+    ConstExpr,
+    EntryExpr,
+    EntryKey,
+    InternTable,
+    ValueExpr,
+    compile_expr,
+)
 from repro.core.jump_functions import CallSiteFunctions
 from repro.core.lattice import BOTTOM, TOP, LatticeValue, meet
 from repro.frontend.astnodes import Type
@@ -55,6 +63,8 @@ ENGINE_COUNTERS = (
     "memo_hits",
     "memo_misses",
     "bottom_skips",
+    "kernel_compiles",
+    "kernel_hits",
 )
 
 _MISSING = object()
@@ -256,11 +266,20 @@ class DeltaEngine:
     """Evaluate-and-meet over a :class:`SupportIndex`, with memoization.
 
     One engine serves one solve: it owns the evaluation memo and mutates
-    ``val`` in place. The memo key — ``(id(expr), support slice)`` — is
-    sound because expressions are hash-consed (structural equality implies
-    identity for smart-constructor-built trees) and ``evaluate`` reads
-    nothing outside the support slice; the value class rides along in the
-    slice so a LOGICAL ``.true.`` never aliases an INTEGER ``1``.
+    ``val`` in place. The memo key — ``(generation, id(expr), support
+    slice)`` — is sound because expressions are hash-consed (structural
+    equality implies identity for smart-constructor-built trees) and
+    ``evaluate`` reads nothing outside the support slice; the value class
+    rides along in the slice so a LOGICAL ``.true.`` never aliases an
+    INTEGER ``1``, and the intern table's generation counter rides along
+    so a :func:`repro.core.exprs.clear_intern_table` mid-solve can never
+    alias a recycled ``id`` to a stale entry.
+
+    ``compiled=True`` routes polynomial evaluations through
+    :func:`repro.core.exprs.compile_expr` closures instead of the
+    ``evaluate`` tree walk (value-identical by construction); the engine
+    counts top-level kernel cache misses/hits as
+    ``kernel_compiles``/``kernel_hits`` on its stats object.
 
     ``sanitizer`` is the optional lattice-invariant observer (duck-typed
     to :class:`repro.diagnostics.sanitizer.LatticeSanitizer`; the engine
@@ -288,6 +307,8 @@ class DeltaEngine:
         "_seeds",
         "_kills",
         "_dependents",
+        "_compiled",
+        "_table",
     )
 
     def __init__(
@@ -298,6 +319,8 @@ class DeltaEngine:
         sanitizer=None,
         budget=None,
         partition: RegionPartition | None = None,
+        compiled: bool = False,
+        table: InternTable | None = None,
     ):
         self._index = index
         self._val = val
@@ -306,6 +329,8 @@ class DeltaEngine:
         self._sanitizer = sanitizer
         self._budget = budget
         self._partition = partition
+        self._compiled = compiled
+        self._table = INTERN_TABLE if table is None else table
         # With a partition, seed/delta traffic is intra-region only;
         # cross-region edges wait for flush_region. Without one (the
         # legacy schedule) the full index drives everything.
@@ -328,12 +353,12 @@ class DeltaEngine:
         and in evaluation order (insertion-ordered mappings).
 
         Every edge of every solve crosses this loop exactly once, so the
-        edge transfer is inlined rather than routed through
-        :meth:`_evaluate_edge`: counters accumulate in locals (flushed
+        edge transfer is inlined: counters accumulate in locals (flushed
         once at the end) and the ``meet(⊤, x) = x`` identity is applied
         without a call — at seed time nearly every binding still sits at
-        ⊤. The delta path keeps the out-of-line form; it only runs for
-        jump functions whose support actually lowered.
+        ⊤. The delta path (:meth:`apply_deltas`) batches the same inlined
+        transfer per callee; it only runs for jump functions whose
+        support actually lowered.
         """
         val = self._val
         caller_env = val[caller]
@@ -402,9 +427,18 @@ class DeltaEngine:
         """Propagate lowered entry keys of ``proc`` to their dependent
         jump functions. An edge dependent on several keys of the batch is
         evaluated once. Returns the lowered callee bindings grouped by
-        callee (same shape as :meth:`seed`)."""
+        callee (same shape as :meth:`seed`).
+
+        The batch is transferred per callee: unique dependent edges are
+        grouped by callee (insertion order — deterministic), then each
+        callee's environment is fetched once and its edges meet in as an
+        array, with counters batched in locals like :meth:`seed`. Within
+        a callee the edges keep their discovery order, so the ⊥-floor
+        short-circuit fires identically to edge-at-a-time transfer.
+        """
         changed: dict[str, dict[EntryKey, None]] = {}
         visited: set[int] = set()
+        by_callee: dict[str, list[BindingEdge]] = {}
         dependents = self._dependents
         stats = self._stats
         for key in keys:
@@ -414,11 +448,55 @@ class DeltaEngine:
                 if edge_id in visited:
                     continue
                 visited.add(edge_id)
-                if self._evaluate_edge(edge):
-                    lowered_keys = changed.get(edge.callee)
-                    if lowered_keys is None:
-                        lowered_keys = changed[edge.callee] = {}
-                    lowered_keys[edge.key] = None
+                group = by_callee.get(edge.callee)
+                if group is None:
+                    group = by_callee[edge.callee] = []
+                group.append(edge)
+        if by_callee:
+            val = self._val
+            caller_env = val[proc]
+            sanitizer = self._sanitizer
+            evaluations = meets = bottom_skips = 0
+            for callee, edges in by_callee.items():
+                env = val[callee]
+                lowered_keys = changed.get(callee)
+                for edge in edges:
+                    key = edge.key
+                    old = env[key]
+                    if old is BOTTOM:
+                        bottom_skips += 1  # already at the lattice floor
+                        continue
+                    incoming = edge.const
+                    if incoming is None:
+                        expr = edge.expr
+                        if expr.__class__ is EntryExpr:
+                            # pass-through: the evaluation *is* the fetch
+                            evaluations += 1
+                            incoming = caller_env.get(expr.key, BOTTOM)
+                        elif edge.support:
+                            incoming = self._poly_value(
+                                expr, edge.support, caller_env
+                            )
+                        else:
+                            # support-free and not constant ⇒ ⊥
+                            bottom_skips += 1
+                            incoming = BOTTOM
+                    if sanitizer is not None:
+                        sanitizer.observe_transfer(
+                            edge.site_id, callee, key, incoming
+                        )
+                    meets += 1
+                    new = incoming if old is TOP else meet(old, incoming)
+                    if new != old:
+                        if sanitizer is not None:
+                            sanitizer.observe_update(callee, key, old, new)
+                        env[key] = new
+                        if lowered_keys is None:
+                            lowered_keys = changed[callee] = {}
+                        lowered_keys[key] = None
+            stats.evaluations += evaluations
+            stats.meets += meets
+            stats.bottom_skips += bottom_skips
         if self._budget is not None:
             self._budget.check_engine(stats)
         return changed
@@ -442,7 +520,7 @@ class DeltaEngine:
         # On DAG-shaped call graphs every region is a singleton, so this
         # loop — not seed() — carries nearly all of the propagation;
         # like seed() it inlines the edge transfer and batches counters
-        # in locals instead of paying a _evaluate_edge call per edge.
+        # in locals instead of paying a method call per edge.
         evaluations = meets = bottom_skips = 0
         for edge in partition.external_seeds.get(caller, ()):
             callee = edge.callee
@@ -516,53 +594,24 @@ class DeltaEngine:
             values = tuple(
                 _memo_value(caller_env.get(key, BOTTOM)) for key in support
             )
-        memo_key = (id(expr), values)
+        table = self._table
+        memo_key = (table.generation, id(expr), values)
         incoming = self._memo.get(memo_key, _MISSING)
         if incoming is _MISSING:
             stats.memo_misses += 1
             stats.evaluations += 1
-            incoming = expr.evaluate(caller_env)
+            if self._compiled:
+                kernel = table.kernel_for(expr)
+                if kernel is None:
+                    kernel = compile_expr(expr, table)
+                    stats.kernel_compiles += 1
+                else:
+                    stats.kernel_hits += 1
+                incoming = kernel(caller_env)
+            else:
+                incoming = expr.evaluate(caller_env)
             self._memo[memo_key] = incoming
         else:
             stats.memo_hits += 1
         return incoming
 
-    def _evaluate_edge(self, edge: BindingEdge) -> bool:
-        """Transfer one jump-function binding: evaluate (or reuse) the
-        function's value and meet it into the callee binding. Returns
-        True when the binding lowered."""
-        stats = self._stats
-        env = self._val[edge.callee]
-        old = env[edge.key]
-        if old is BOTTOM:
-            stats.bottom_skips += 1  # already at the lattice floor
-            return False
-        incoming = edge.const
-        if incoming is None:
-            expr = edge.expr
-            if expr.__class__ is EntryExpr:
-                # pass-through: the evaluation *is* the env fetch, so a
-                # memo keyed on that fetch could never pay for itself
-                stats.evaluations += 1
-                incoming = self._val[edge.caller].get(expr.key, BOTTOM)
-            elif edge.support:
-                incoming = self._poly_value(
-                    edge.expr, edge.support, self._val[edge.caller]
-                )
-            else:
-                # support-free and not constant ⇒ ⊥: its one ⊥
-                # contribution, applied without evaluation; empty support
-                # means no delta ever revisits it either
-                stats.bottom_skips += 1
-                incoming = BOTTOM
-        sanitizer = self._sanitizer
-        if sanitizer is not None:
-            sanitizer.observe_transfer(edge.site_id, edge.callee, edge.key, incoming)
-        stats.meets += 1
-        new = incoming if old is TOP else meet(old, incoming)
-        if new != old:
-            if sanitizer is not None:
-                sanitizer.observe_update(edge.callee, edge.key, old, new)
-            env[edge.key] = new
-            return True
-        return False

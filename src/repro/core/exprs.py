@@ -64,14 +64,39 @@ class InternTable:
     instead of O(size). Operand identities stay valid because the table
     holds the parent, the parent holds the operands, and entries are only
     ever dropped all at once by :meth:`clear`.
+
+    The table carries a **generation counter** that :meth:`clear` bumps.
+    Any cache that keys on ``id(expr)`` (the sparse engine's evaluation
+    memo, the compiled-kernel cache below) must include the generation in
+    its keys: after a clear, CPython may recycle a dropped expression's id
+    for a brand-new node, and a generation-less cache would silently serve
+    the old entry for it.
+
+    The table also owns the **compiled-kernel cache** for
+    :func:`compile_expr`: one closure per interned node, keyed by
+    ``(generation, id(expr))`` and holding a strong reference to the
+    expression (so the id cannot be recycled while the entry lives).
+    Kernels are dropped together with the expressions by :meth:`clear`.
     """
 
-    __slots__ = ("_table", "hits", "misses")
+    __slots__ = (
+        "_table",
+        "hits",
+        "misses",
+        "generation",
+        "_kernels",
+        "kernel_compiles",
+        "kernel_hits",
+    )
 
     def __init__(self) -> None:
         self._table: dict[object, ValueExpr] = {}
         self.hits = 0
         self.misses = 0
+        self.generation = 0
+        self._kernels: dict[object, tuple[ValueExpr, object]] = {}
+        self.kernel_compiles = 0
+        self.kernel_hits = 0
 
     def __len__(self) -> int:
         return len(self._table)
@@ -89,12 +114,27 @@ class InternTable:
 
     def clear(self) -> None:
         self._table.clear()
+        self._kernels.clear()
+        self.generation += 1
+
+    def kernel_for(self, expr: "ValueExpr") -> "object | None":
+        """The cached compiled kernel for ``expr`` in the current
+        generation, or ``None``. Counts a hit only when found."""
+        entry = self._kernels.get((self.generation, id(expr)))
+        if entry is None:
+            return None
+        self.kernel_hits += 1
+        return entry[1]
 
     def counters(self) -> dict[str, int]:
         return {
             "expr_intern_hits": self.hits,
             "expr_intern_misses": self.misses,
             "expr_intern_entries": len(self._table),
+            "expr_intern_generation": self.generation,
+            "expr_kernel_compiles": self.kernel_compiles,
+            "expr_kernel_hits": self.kernel_hits,
+            "expr_kernel_entries": len(self._kernels),
         }
 
 
@@ -221,6 +261,23 @@ class OpExpr(ValueExpr):
         return self._order
 
     def evaluate(self, env: Mapping[EntryKey, LatticeValue]) -> LatticeValue:
+        if self.op == "*" and self.arity == "bin":
+            # Multiplication absorbs through the whole lattice: 0 * x is 0
+            # for x ∈ {⊤, c, ⊥} alike (paper §3.1.5's folding discipline —
+            # ``make_binary`` applies the same rule at construction time,
+            # so evaluation must agree for trees built around a computed
+            # zero). INTEGER zero only: .FALSE. == 0 in Python.
+            left = self.args[0].evaluate(env)
+            right = self.args[1].evaluate(env)
+            if (left.__class__ is int and left == 0) or (
+                right.__class__ is int and right == 0
+            ):
+                return 0
+            if left is BOTTOM or right is BOTTOM:
+                return BOTTOM
+            if left is TOP or right is TOP:
+                return TOP
+            return _fold("*", "bin", [left, right])
         values = []
         saw_top = False
         for arg in self.args:
@@ -436,3 +493,145 @@ def constant_only_value(expr: ValueExpr) -> LatticeValue:
     """Evaluate with every entry value unknown — the paper's ``gcp``:
     the constant value derivable from purely intraprocedural information."""
     return expr.evaluate({})
+
+
+# --------------------------------------------------------------------------
+# Compiled kernels
+# --------------------------------------------------------------------------
+#
+# ``evaluate`` tree-walks: one method dispatch, one loop, and one list
+# allocation per operator node, every single evaluation. Jump functions are
+# tiny but *hot* — the sparse engine re-evaluates the same interned
+# expression for every support delta — so ``compile_expr`` flattens each
+# node once into a chain of closures: leaves become constant/dict-lookup
+# lambdas and operator nodes become closures over their operand kernels
+# with the lattice short-circuits inlined. Hash-consing makes the cache
+# pay twice: structurally shared subtrees compile once and the compiled
+# kernel is shared by every parent. Kernels fold through ``_fold``, so
+# compiled and tree-walk evaluation are value-identical by construction
+# (including the multiplicative absorption rule above).
+
+
+def _compile_node(expr: ValueExpr, table: InternTable):
+    if isinstance(expr, ConstExpr):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, EntryExpr):
+        key = expr.key
+        return lambda env: env.get(key, BOTTOM)
+    if isinstance(expr, _BottomExpr):
+        return lambda env: BOTTOM
+    assert isinstance(expr, OpExpr)
+    op, arity = expr.op, expr.arity
+    kernels = tuple(compile_expr(arg, table) for arg in expr.args)
+    if arity == "bin":
+        ka, kb = kernels
+        if op == "*":
+
+            def mul_kernel(env):
+                a = ka(env)
+                b = kb(env)
+                if (a.__class__ is int and a == 0) or (
+                    b.__class__ is int and b == 0
+                ):
+                    return 0
+                if a is BOTTOM or b is BOTTOM:
+                    return BOTTOM
+                if a is TOP or b is TOP:
+                    return TOP
+                return a * b
+
+            return mul_kernel
+        if op == "+":
+            # On lattice constants (int/bool only) ``+`` and ``-`` cannot
+            # raise and always produce int, so the ``_fold`` dispatch
+            # inlines away — most of the kernel speedup comes from here.
+
+            def add_kernel(env):
+                a = ka(env)
+                if a is BOTTOM:
+                    return BOTTOM
+                b = kb(env)
+                if b is BOTTOM:
+                    return BOTTOM
+                if a is TOP or b is TOP:
+                    return TOP
+                return a + b
+
+            return add_kernel
+        if op == "-":
+
+            def sub_kernel(env):
+                a = ka(env)
+                if a is BOTTOM:
+                    return BOTTOM
+                b = kb(env)
+                if b is BOTTOM:
+                    return BOTTOM
+                if a is TOP or b is TOP:
+                    return TOP
+                return a - b
+
+            return sub_kernel
+
+        def bin_kernel(env):
+            a = ka(env)
+            if a is BOTTOM:
+                return BOTTOM
+            b = kb(env)
+            if b is BOTTOM:
+                return BOTTOM
+            if a is TOP or b is TOP:
+                return TOP
+            return _fold(op, "bin", [a, b])
+
+        return bin_kernel
+    if arity == "un":
+        (ku,) = kernels
+
+        def un_kernel(env):
+            a = ku(env)
+            if a is BOTTOM:
+                return BOTTOM
+            if a is TOP:
+                return TOP
+            return _fold(op, "un", [a])
+
+        return un_kernel
+
+    def intrinsic_kernel(env):
+        values = []
+        saw_top = False
+        for kernel in kernels:
+            value = kernel(env)
+            if value is BOTTOM:
+                return BOTTOM
+            if value is TOP:
+                saw_top = True
+            values.append(value)
+        if saw_top:
+            return TOP
+        return _fold(op, arity, values)
+
+    return intrinsic_kernel
+
+
+def compile_expr(expr: ValueExpr, table: InternTable = INTERN_TABLE):
+    """Compile ``expr`` into a ``kernel(env) -> LatticeValue`` closure.
+
+    Kernels are cached per table and per generation (see
+    :class:`InternTable`); repeated calls for the same interned node (or a
+    shared subtree of a larger one) return the same closure. The cache
+    entry pins the expression itself, so an ``id``-recycling collision
+    within a generation is impossible, and :func:`clear_intern_table`
+    drops the kernels together with the expressions they close over.
+    """
+    key = (table.generation, id(expr))
+    entry = table._kernels.get(key)
+    if entry is not None:
+        table.kernel_hits += 1
+        return entry[1]
+    kernel = _compile_node(expr, table)
+    table.kernel_compiles += 1
+    table._kernels[key] = (expr, kernel)
+    return kernel

@@ -1,0 +1,568 @@
+"""Parallel stage-3 solving over the condensation's dependency waves.
+
+The SCC condensation (:mod:`repro.core.regions`) is a DAG: once every
+region that can call into region R has converged, R's entry environments
+are final. :func:`repro.core.regions.wave_schedule` stratifies the DAG
+into *waves* — levels of regions with no call path between them — and
+this module's :class:`ParallelRegionSolver` converges all activated
+regions of one wave concurrently on a process pool, then merges their
+fixed points deterministically (ascending region index) before the next
+wave starts.
+
+Correctness rests on the same argument as the sequential region
+schedule: a region's local fixed point is a function of its members'
+final entry environments only, and cross-region contributions are meets
+of monotone-function values — associative and commutative, so merging a
+wave's contributions in any fixed order meets the identical values the
+interleaved sequential flushes would have. VAL sets are therefore
+byte-identical to :func:`repro.core.solver.solve`'s (the property suite
+asserts it). Counters are deterministic for a fixed worker count, but
+``evaluations``/``bottom_skips`` may differ from the sequential
+schedule's: a task flushes into private all-⊤ scratch environments, so
+it cannot see that a sibling region already lowered a shared callee
+binding to ⊥ and skip the evaluation.
+
+Worker processes rebuild stages 0–2 from ``(source, config)`` in their
+initializer — every stage is deterministic, so the rebuilt region
+indices, support index, and expression identities line up with the
+parent's. Under the default ``fork`` start method the rebuild is skipped
+entirely: the module-level worker state is stamped before the pool is
+created, and forked children inherit the parent's structures
+copy-on-write. Tasks ship only ``(region index, reached members, entry
+environments)`` and return a picklable :class:`RegionOutcome`; the
+lattice singletons ⊤/⊥ reduce to themselves across the boundary.
+
+Failure contract: any pool- or task-level failure (a worker killed
+mid-wave, a pickling error, a schedule violation) raises
+:class:`ParallelSolveError`, which the driver converts into an RL540
+degradation and a sequential re-solve — never a crash and never a
+partial result. :class:`~repro.resilience.errors.BudgetExhaustedError`
+is the one exception that must *not* degrade to a sequential retry (the
+ladder owns it); workers return it as a structured marker (the
+exception's ``__reduce__`` does not survive pickling) and the parent
+re-raises it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.callgraph.graph import CallGraph
+from repro.core.builder import ForwardFunctions
+from repro.core.config import AnalysisConfig
+from repro.core.engine import (
+    ENGINE_COUNTERS,
+    DeltaEngine,
+    RegionPartition,
+    SupportIndex,
+    entry_keys,
+)
+from repro.core.exprs import EntryKey
+from repro.core.lattice import TOP, LatticeValue, meet
+from repro.core.regions import (
+    RegionSchedule,
+    WaveSchedule,
+    region_schedule,
+    wave_schedule,
+)
+from repro.core.solver import (
+    SolveResult,
+    _partition_for,
+    _PriorityWorklist,
+    initial_val,
+)
+from repro.ir.lower import LoweredProgram
+from repro.resilience import chaos
+from repro.resilience.budgets import SolveBudget
+from repro.resilience.errors import (
+    BudgetExhaustedError,
+    ResilienceError,
+    Stage,
+)
+
+__all__ = ["ParallelRegionSolver", "ParallelSolveError", "solve_parallel"]
+
+
+class ParallelSolveError(ResilienceError):
+    """The parallel schedule could not complete — worker loss, pool
+    breakage, a task crash, or a wave-order violation. The driver
+    degrades to the sequential schedule (RL540); the analysis itself is
+    not implicated."""
+
+    stage = Stage.SOLVE
+
+
+@dataclass
+class _WorkerState:
+    """Stages 0–2, as one process (parent or worker) sees them."""
+
+    source: str | None
+    config: AnalysisConfig | None
+    lowered: LoweredProgram
+    graph: CallGraph
+    forward: ForwardFunctions
+    index: SupportIndex
+    schedule: RegionSchedule
+    partition: RegionPartition
+    keys_of: dict[str, list[EntryKey]]
+    rpo: dict[str, int]
+    compiled: bool
+
+
+@dataclass(frozen=True)
+class RegionOutcome:
+    """One region's converged fixed point, ready to merge.
+
+    ``member_envs`` hold the final entry environments of the processed
+    members; ``contributions`` the cross-region flush results — per
+    callee, the keys the region's edges lowered *from ⊤ in private
+    scratch*, i.e. exactly the meet of this region's incoming values,
+    for the parent to meet into the shared VAL. ``activations`` are the
+    cross-region callees reached (with or without lowered keys).
+    """
+
+    index: int
+    processed: tuple[str, ...]
+    member_envs: dict[str, dict[EntryKey, LatticeValue]]
+    activations: tuple[str, ...]
+    contributions: dict[str, dict[EntryKey, LatticeValue]]
+    counters: dict[str, int]
+    local_passes: int
+    pops: int
+
+
+def _make_state(
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    forward: ForwardFunctions,
+    *,
+    source: str | None,
+    config: AnalysisConfig | None,
+    compiled: bool,
+) -> _WorkerState:
+    schedule = region_schedule(graph)
+    return _WorkerState(
+        source=source,
+        config=config,
+        lowered=lowered,
+        graph=graph,
+        forward=forward,
+        index=forward.support_index(lowered),
+        schedule=schedule,
+        partition=_partition_for(forward, lowered, schedule.region_of),
+        keys_of=entry_keys(lowered),
+        rpo=graph.rpo_index(),
+        compiled=compiled,
+    )
+
+
+#: The per-process stage-0–2 bundle tasks run against. In the parent it
+#: doubles as the inline-execution state; forked workers inherit it and
+#: skip the rebuild, spawned workers rebuild from (source, config).
+_WORKER_STATE: _WorkerState | None = None
+
+
+def _build_worker_state(source: str, config: AnalysisConfig) -> _WorkerState:
+    # Late imports: the driver imports this module at top level.
+    from repro.core.builder import build_forward_jump_functions
+    from repro.core.driver import build_stage0
+    from repro.core.returns import build_return_jump_functions
+    from repro.frontend.symbols import parse_program
+
+    stage0 = build_stage0(parse_program(source))
+    returns = build_return_jump_functions(
+        stage0.lowered, stage0.graph, stage0.modref, config,
+        ssa_cache=stage0.ssa_cache,
+    )
+    forward = build_forward_jump_functions(
+        stage0.lowered, stage0.modref, returns, config,
+        ssa_cache=stage0.ssa_cache,
+    )
+    return _make_state(
+        stage0.lowered,
+        stage0.graph,
+        forward,
+        source=source,
+        config=config,
+        compiled=config.compiled_exprs,
+    )
+
+
+def _worker_init(
+    source: str,
+    config: AnalysisConfig,
+    chaos_spec: "chaos.ChaosSpec | None",
+) -> None:
+    """Process-pool initializer: arm chaos (tests) and ensure the worker
+    has the right stage-0–2 state — inherited via fork, or rebuilt.
+
+    The injector is labelled ``"region-worker"`` so a chaos fault can
+    target pool workers specifically (``Fault(program="region-worker")``)
+    without also firing on the parent's inline single-region waves."""
+    global _WORKER_STATE
+    if chaos_spec is not None:
+        chaos.install(chaos_spec, label="region-worker", in_worker=True)
+    state = _WORKER_STATE
+    if (
+        state is not None
+        and state.source == source
+        and state.config == config
+    ):
+        return
+    _WORKER_STATE = _build_worker_state(source, config)
+
+
+def _solve_region_task(
+    state: _WorkerState,
+    index: int,
+    reached: tuple[str, ...],
+    envs: Mapping[str, dict[EntryKey, LatticeValue]],
+    budget: SolveBudget | None,
+) -> RegionOutcome:
+    """Converge one region against private scratch environments.
+
+    ``reached`` are the members activated by earlier waves (sorted);
+    ``envs`` their — final — entry environments. Members never reached
+    stay at ⊤ exactly as in the sequential schedule. Cross-region
+    callees get all-⊤ scratch environments, so the flush results read
+    off as pure contributions for the parent to meet in.
+    """
+    chaos.chaos_point(Stage.SOLVE, scope="region-worker")
+    schedule = state.schedule
+    region = schedule.regions[index]
+    region_of = schedule.region_of
+    keys_of = state.keys_of
+
+    scratch: dict[str, dict[EntryKey, LatticeValue]] = {}
+    for member in region.members:
+        env: dict[EntryKey, LatticeValue] = {
+            key: TOP for key in keys_of[member]
+        }
+        given = envs.get(member)
+        if given is not None:
+            env.update(given)
+        scratch[member] = env
+    external: dict[str, None] = {}
+    for member in region.members:
+        for callee in state.index.callees.get(member, ()):
+            if region_of[callee] != index and callee not in external:
+                external[callee] = None
+    for callee in external:
+        scratch[callee] = {key: TOP for key in keys_of[callee]}
+
+    stats = SolveResult(val=scratch)
+    engine = DeltaEngine(
+        state.index,
+        scratch,
+        stats,
+        None,
+        budget,
+        partition=state.partition,
+        compiled=state.compiled,
+    )
+
+    processed: dict[str, None] = {}
+    activations: dict[str, None] = {}
+    local_passes = 0
+    pops = 0
+    if not region.recursive and len(reached) == 1:
+        # Singleton fast path, mirroring the sequential solver.
+        (proc,) = reached
+        if budget is not None:
+            budget.check_passes(1)
+        pops = 1
+        processed[proc] = None
+        engine.seed(proc)  # a singleton has no internal edges
+        local_passes = 1
+        for callee in engine.callees(proc):
+            activations[callee] = None  # all cross-region for a singleton
+    else:
+        worklist = _PriorityWorklist(state.rpo)
+        pending: dict[str, dict[EntryKey, None]] = {}
+        seeded: set[str] = set()
+        for proc in reached:
+            worklist.push(proc, proc)
+        mark = worklist.begin_segment()
+        while worklist:
+            caller = worklist.pop()
+            if budget is not None:
+                budget.check_passes(worklist.passes - mark)
+            processed[caller] = None
+            if caller not in seeded:
+                seeded.add(caller)
+                pending.pop(caller, None)
+                changed = engine.seed(caller)
+            else:
+                deltas = pending.pop(caller, None)
+                changed = engine.apply_deltas(caller, deltas) if deltas else {}
+            for callee, keys in changed.items():
+                slot = pending.get(callee)
+                if slot is None:
+                    slot = pending[callee] = {}
+                slot.update(keys)
+                worklist.push(callee, callee)
+            for callee in engine.callees(caller):
+                if region_of[callee] == index:
+                    if callee not in seeded:
+                        worklist.push(callee, callee)
+                else:
+                    activations[callee] = None
+        local_passes = worklist.passes - mark
+        pops = worklist.pops
+
+    # Flush every cross-region edge once, with final member environments;
+    # the scratch callee envs accumulate the region's contribution.
+    touched: dict[str, dict[EntryKey, None]] = {}
+    for caller in processed:
+        for callee, keys in engine.flush_region(caller).items():
+            slot = touched.get(callee)
+            if slot is None:
+                slot = touched[callee] = {}
+            slot.update(keys)
+    contributions = {
+        callee: {key: scratch[callee][key] for key in keys}
+        for callee, keys in touched.items()
+    }
+    return RegionOutcome(
+        index=index,
+        processed=tuple(processed),
+        member_envs={proc: scratch[proc] for proc in processed},
+        activations=tuple(sorted(activations)),
+        contributions=contributions,
+        counters={name: getattr(stats, name) for name in ENGINE_COUNTERS},
+        local_passes=local_passes,
+        pops=pops,
+    )
+
+
+def _run_region_remote(
+    index: int,
+    reached: tuple[str, ...],
+    envs: dict[str, dict[EntryKey, LatticeValue]],
+    budget: SolveBudget | None,
+):
+    """Pool entry point. Budget exhaustion returns as a structured
+    marker: :class:`BudgetExhaustedError` does not round-trip pickling
+    (its ``__init__`` signature differs from ``args``), and it must not
+    be conflated with a pool failure."""
+    try:
+        state = _WORKER_STATE
+        if state is None:
+            raise ParallelSolveError("worker state was never initialized")
+        return ("ok", _solve_region_task(state, index, reached, envs, budget))
+    except BudgetExhaustedError as exc:
+        return ("budget", exc.counter, exc.limit, exc.observed)
+
+
+class ParallelRegionSolver:
+    """Wave-scheduled stage-3 solve over a process pool.
+
+    One instance serves one solve. ``workers`` is the requested pool
+    width; waves with a single activated region (and the whole solve,
+    when ``workers <= 1``) execute inline through the exact same task
+    function, so pooled and inline runs are structurally identical.
+    """
+
+    def __init__(
+        self,
+        lowered: LoweredProgram,
+        graph: CallGraph,
+        forward: ForwardFunctions,
+        *,
+        workers: int,
+        source: str | None = None,
+        config: AnalysisConfig | None = None,
+        budget: SolveBudget | None = None,
+        compiled: bool = False,
+    ):
+        self._state = _make_state(
+            lowered,
+            graph,
+            forward,
+            source=source,
+            config=config,
+            compiled=compiled,
+        )
+        self._workers = max(1, workers)
+        self._budget = budget
+
+    def solve(self) -> SolveResult:
+        """Run the wave schedule to the global fixed point.
+
+        Raises :class:`ParallelSolveError` on any pool or task failure
+        (the caller re-solves sequentially) and re-raises
+        :class:`BudgetExhaustedError` untouched (the ladder owns it).
+        """
+        global _WORKER_STATE
+        state = self._state
+        lowered, graph = state.lowered, state.graph
+        schedule = state.schedule
+        waves = wave_schedule(graph)
+        region_of = schedule.region_of
+        result = SolveResult(val=initial_val(lowered))
+        main = lowered.program.main
+        activated: dict[int, set[str]] = {region_of[main]: {main}}
+        done: set[int] = set()
+        max_local = 0
+
+        pool: ProcessPoolExecutor | None = None
+        use_pool = (
+            self._workers > 1
+            and state.source is not None
+            and state.config is not None
+            and len(schedule.regions) > 1
+        )
+        try:
+            if use_pool:
+                # Stamp the parent's state before forking so workers
+                # inherit it; spawned workers rebuild from the initargs.
+                _WORKER_STATE = state
+                injector = chaos._ACTIVE
+                pool = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=_worker_init,
+                    initargs=(
+                        state.source,
+                        state.config,
+                        injector.spec if injector is not None else None,
+                    ),
+                )
+            for level, wave in enumerate(waves.waves):
+                todo = [index for index in wave if index in activated]
+                if not todo:
+                    continue
+                result.waves += 1
+                tasks = []
+                for index in todo:
+                    reached = tuple(sorted(activated.pop(index)))
+                    envs = {
+                        member: result.val[member] for member in reached
+                    }
+                    tasks.append((index, reached, envs))
+                outcomes = self._execute(pool, tasks, result)
+                for outcome in outcomes:  # ascending region index
+                    self._merge(result, outcome, level, waves, region_of,
+                                activated, done)
+                    if outcome.local_passes > max_local:
+                        max_local = outcome.local_passes
+                if self._budget is not None:
+                    self._budget.check_all(result, max_local)
+        except (BudgetExhaustedError, ParallelSolveError):
+            raise
+        except Exception as exc:
+            raise ParallelSolveError(
+                f"parallel region solve failed: {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            if pool is not None:
+                _terminate_pool(pool)
+        result.passes = max_local
+        return result
+
+    def _execute(self, pool, tasks, result: SolveResult) -> list[RegionOutcome]:
+        """Run one wave's tasks — pooled when the wave is genuinely
+        parallel, inline otherwise — returning outcomes in submission
+        (ascending region index) order."""
+        budget = self._budget
+        if pool is not None and len(tasks) > 1:
+            futures = [
+                pool.submit(_run_region_remote, index, reached, envs, budget)
+                for index, reached, envs in tasks
+            ]
+            result.regions_parallel += len(tasks)
+            outcomes = []
+            for future in futures:
+                reply = future.result()
+                if reply[0] == "budget":
+                    raise BudgetExhaustedError(reply[1], reply[2], reply[3])
+                outcomes.append(reply[1])
+            return outcomes
+        return [
+            _solve_region_task(self._state, index, reached, envs, budget)
+            for index, reached, envs in tasks
+        ]
+
+    @staticmethod
+    def _merge(
+        result: SolveResult,
+        outcome: RegionOutcome,
+        level: int,
+        waves: WaveSchedule,
+        region_of: Mapping[str, int],
+        activated: dict[int, set[str]],
+        done: set[int],
+    ) -> None:
+        """Fold one region's outcome into the shared VAL — adopt member
+        environments, meet cross-region contributions, record
+        activations. Deterministic: callers merge outcomes in ascending
+        region index, and meet is associative/commutative, so the result
+        is independent of which worker finished first."""
+        result.regions += 1
+        done.add(outcome.index)
+        result.reached.update(outcome.processed)
+        for member, env in outcome.member_envs.items():
+            result.val[member].update(env)
+        counters = outcome.counters
+        for name in ENGINE_COUNTERS:
+            setattr(result, name, getattr(result, name) + counters[name])
+        result.region_passes += outcome.local_passes
+        result.pops += outcome.pops
+        for callee, env in outcome.contributions.items():
+            target = result.val[callee]
+            for key, incoming in env.items():
+                old = target[key]
+                new = incoming if old is TOP else meet(old, incoming)
+                if new != old:
+                    target[key] = new
+        for callee in outcome.activations:
+            target_index = region_of[callee]
+            if target_index in done or waves.level_of(target_index) <= level:
+                # Every condensation edge goes to a strictly higher
+                # level; reaching backward means the schedule (or the
+                # worker's rebuilt structures) is corrupt.
+                raise ParallelSolveError(
+                    f"wave-order violation: region {outcome.index} at "
+                    f"level {level} activated region {target_index} at "
+                    f"level {waves.level_of(target_index)}"
+                )
+            activated.setdefault(target_index, set()).add(callee)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without leaking workers: terminate-then-join,
+    escalating to kill — the same discipline as the sweep executor."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+
+
+def solve_parallel(
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    forward: ForwardFunctions,
+    *,
+    workers: int,
+    source: str | None = None,
+    config: AnalysisConfig | None = None,
+    budget: SolveBudget | None = None,
+    compiled: bool = False,
+) -> SolveResult:
+    """Convenience wrapper: one :class:`ParallelRegionSolver` run."""
+    return ParallelRegionSolver(
+        lowered,
+        graph,
+        forward,
+        workers=workers,
+        source=source,
+        config=config,
+        budget=budget,
+        compiled=compiled,
+    ).solve()

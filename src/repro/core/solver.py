@@ -96,12 +96,20 @@ class SolveResult:
     memo_hits: int = 0
     memo_misses: int = 0
     bottom_skips: int = 0
+    #: compiled-kernel cache misses/hits in the engine (0 unless the
+    #: solve ran with ``compiled=True``).
+    kernel_compiles: int = 0
+    kernel_hits: int = 0
     #: SCC regions converged by this solve (0 under the legacy schedule).
     regions: int = 0
     #: total per-region sweeps — Σ of each region's local pass count.
     region_passes: int = 0
     #: regions adopted from a warm start instead of being converged.
     regions_warm: int = 0
+    #: dependency levels processed by the parallel wave scheduler and
+    #: regions it dispatched to pool workers (0 for sequential solves).
+    waves: int = 0
+    regions_parallel: int = 0
 
     def constants(self, proc: str) -> dict[EntryKey, LatticeValue]:
         """CONSTANTS(p): the entry keys proven constant (paper §2)."""
@@ -126,9 +134,13 @@ class SolveResult:
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
             "bottom_skips": self.bottom_skips,
+            "kernel_compiles": self.kernel_compiles,
+            "kernel_hits": self.kernel_hits,
             "regions": self.regions,
             "region_passes": self.region_passes,
             "regions_warm": self.regions_warm,
+            "waves": self.waves,
+            "regions_parallel": self.regions_parallel,
         }
 
 
@@ -276,6 +288,7 @@ def solve(
     budget=None,
     region_scheduled: bool = True,
     warm: WarmStart | None = None,
+    compiled: bool = False,
 ) -> SolveResult:
     """Sparse delta-driven propagation to a fixpoint (procedure-grained).
 
@@ -299,6 +312,11 @@ def solve(
     function rather than a dead result. In region mode the pass cap
     applies to each region's local sweep count — the same §3.1.5
     quantity the legacy global count approximated.
+
+    ``compiled=True`` evaluates polynomial jump functions through
+    compiled closure kernels (:func:`repro.core.exprs.compile_expr`)
+    instead of the ``evaluate`` tree walk — value-identical, counted
+    under ``kernel_compiles``/``kernel_hits``.
     """
     if sanitizer is not None:
         # Sanitizing is about observability, not speed: the sanitizer's
@@ -310,7 +328,12 @@ def solve(
         region_scheduled = False
     if not region_scheduled:
         return _solve_legacy(
-            lowered, graph, forward, sanitizer=sanitizer, budget=budget
+            lowered,
+            graph,
+            forward,
+            sanitizer=sanitizer,
+            budget=budget,
+            compiled=compiled,
         )
     schedule = region_schedule(graph)
     region_of = schedule.region_of
@@ -322,6 +345,7 @@ def solve(
         sanitizer,
         budget,
         partition=_partition_for(forward, lowered, region_of),
+        compiled=compiled,
     )
     worklist = _PriorityWorklist(graph.rpo_index())
     #: procedure -> entry keys that lowered since its last visit
@@ -470,6 +494,7 @@ def _solve_legacy(
     *,
     sanitizer=None,
     budget=None,
+    compiled: bool = False,
 ) -> SolveResult:
     """The PR-2 global-worklist schedule: one reverse-postorder priority
     queue over the whole call graph, cross-region edges re-evaluated
@@ -477,7 +502,12 @@ def _solve_legacy(
     and benchmarks; computes the identical fixpoint."""
     result = SolveResult(val=initial_val(lowered))
     engine = DeltaEngine(
-        forward.support_index(lowered), result.val, result, sanitizer, budget
+        forward.support_index(lowered),
+        result.val,
+        result,
+        sanitizer,
+        budget,
+        compiled=compiled,
     )
 
     worklist = _PriorityWorklist(graph.rpo_index())

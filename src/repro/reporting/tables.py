@@ -18,9 +18,9 @@ section, so a partial table is always visibly partial.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.core.config import TABLE2_CONFIGS, TABLE3_CONFIGS
+from repro.core.config import TABLE2_CONFIGS, TABLE3_CONFIGS, AnalysisConfig
 from repro.core.driver import SweepSummary, sweep_programs
 from repro.core.lattice import BOTTOM, TOP, meet
 from repro.frontend.symbols import parse_program
@@ -30,6 +30,20 @@ from repro.workloads import load, suite_names
 
 def _suite_sources(scale: float) -> dict[str, str]:
     return {name: load(name, scale).source for name in suite_names()}
+
+
+def _parallelize(
+    configs: dict[str, AnalysisConfig], parallel: int | None
+) -> dict[str, AnalysisConfig]:
+    """The table configs with ``parallel_regions`` applied (identity when
+    ``parallel`` is falsy). Every cell keeps its own name — the parallel
+    schedule is byte-identical on VALs, so the table counts are too."""
+    if not parallel:
+        return configs
+    return {
+        name: replace(config, parallel_regions=parallel)
+        for name, config in configs.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -121,30 +135,58 @@ def _table3_rows(sweeps: dict[str, dict[str, SweepSummary]]) -> list[Table3Row]:
     return rows
 
 
-def run_table2(scale: float = 1.0, processes: int | None = None) -> list[Table2Row]:
+def run_table2(
+    scale: float = 1.0,
+    processes: int | None = None,
+    parallel: int | None = None,
+) -> list[Table2Row]:
     """Constants found through use of jump functions (paper Table 2)."""
-    return _table2_rows(sweep_programs(_suite_sources(scale), TABLE2_CONFIGS, processes))
+    return _table2_rows(
+        sweep_programs(
+            _suite_sources(scale),
+            _parallelize(TABLE2_CONFIGS, parallel),
+            processes,
+        )
+    )
 
 
-def run_table3(scale: float = 1.0, processes: int | None = None) -> list[Table3Row]:
+def run_table3(
+    scale: float = 1.0,
+    processes: int | None = None,
+    parallel: int | None = None,
+) -> list[Table3Row]:
     """Most precise jump function vs. other techniques (paper Table 3)."""
-    return _table3_rows(sweep_programs(_suite_sources(scale), TABLE3_CONFIGS, processes))
+    return _table3_rows(
+        sweep_programs(
+            _suite_sources(scale),
+            _parallelize(TABLE3_CONFIGS, parallel),
+            processes,
+        )
+    )
 
 
 def run_table2_outcome(
-    scale: float = 1.0, policy: SweepPolicy | None = None
+    scale: float = 1.0,
+    policy: SweepPolicy | None = None,
+    parallel: int | None = None,
 ) -> tuple[list[Table2Row], SweepOutcome]:
     """Table 2 through the fault-tolerant executor: always returns rows
     (with ``None`` holes for failed cells) plus the sweep's outcome."""
-    outcome = run_sweep(_suite_sources(scale), TABLE2_CONFIGS, policy)
+    outcome = run_sweep(
+        _suite_sources(scale), _parallelize(TABLE2_CONFIGS, parallel), policy
+    )
     return _table2_rows(outcome.summaries), outcome
 
 
 def run_table3_outcome(
-    scale: float = 1.0, policy: SweepPolicy | None = None
+    scale: float = 1.0,
+    policy: SweepPolicy | None = None,
+    parallel: int | None = None,
 ) -> tuple[list[Table3Row], SweepOutcome]:
     """Table 3 through the fault-tolerant executor."""
-    outcome = run_sweep(_suite_sources(scale), TABLE3_CONFIGS, policy)
+    outcome = run_sweep(
+        _suite_sources(scale), _parallelize(TABLE3_CONFIGS, parallel), policy
+    )
     return _table3_rows(outcome.summaries), outcome
 
 

@@ -89,6 +89,10 @@ CODE_STORE_FALLBACK = describe_code(
 CODE_STORE_RESET = describe_code(
     "RL531", "artifact store reset: unreadable, foreign, or corrupt index"
 )
+CODE_PARALLEL_FALLBACK = describe_code(
+    "RL540", "parallel region solve failed: fell back to the sequential "
+    "schedule"
+)
 
 _FAILURE_CODES = {
     FailureKind.CRASH: CODE_FAILURE_CRASH,

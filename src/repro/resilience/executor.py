@@ -212,6 +212,25 @@ def _execute_inline(items: list) -> dict[str, object]:
     return results
 
 
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill the pool's worker processes instead of abandoning them.
+
+    ``Future.cancel()`` cannot cancel a *running* task and
+    ``shutdown(wait=False)`` merely stops feeding the workers — a hung
+    solve would keep its process alive (and its CPU busy) long after the
+    sweep reported the task timed out. Terminate-then-join, escalating to
+    ``kill`` for a worker that ignores SIGTERM.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+
+
 def _execute_pool(
     items: list, workers: int, timeout: float | None
 ) -> tuple[dict[str, object], bool]:
@@ -220,10 +239,14 @@ def _execute_pool(
     Returns (results, pool_broke). Futures that completed before a pool
     breakage keep their results; the rest are reported lost. Timeouts are
     measured against a shared deadline from batch start — every task had
-    at least ``timeout`` seconds of wall clock to finish.
+    at least ``timeout`` seconds of wall clock to finish. A batch that
+    saw a timeout or a pool breakage terminates its workers on the way
+    out: a timed-out task's worker is hung by definition, and neither it
+    nor a broken pool's survivors may outlive the batch as orphans.
     """
     pool = ProcessPoolExecutor(max_workers=workers)
     broke = False
+    hung = False
     results: dict[str, object] = {}
     try:
         futures = {item[0]: pool.submit(_run_task, item) for item in items}
@@ -242,6 +265,7 @@ def _execute_pool(
                 results[name] = future.result(timeout=remaining)
             except FutureTimeoutError:
                 future.cancel()
+                hung = True
                 results[name] = _TIMED_OUT
             except BrokenExecutor:
                 broke = True
@@ -251,6 +275,8 @@ def _execute_pool(
                 # report as loss so the retry/quarantine path owns it
                 results[name] = _LOST
     finally:
+        if hung or broke:
+            _terminate_workers(pool)
         pool.shutdown(wait=False, cancel_futures=True)
     return results, broke
 

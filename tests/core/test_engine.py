@@ -69,6 +69,10 @@ class TestHashConsing:
             "expr_intern_hits",
             "expr_intern_misses",
             "expr_intern_entries",
+            "expr_intern_generation",
+            "expr_kernel_compiles",
+            "expr_kernel_hits",
+            "expr_kernel_entries",
         }
 
 
@@ -221,6 +225,44 @@ end
         assert result.val["s"]["a"] == 4
         assert result.memo_hits >= 1
         assert result.memo_misses >= 1
+
+    def test_intern_clear_mid_solve_cannot_serve_stale_memo(self):
+        # the evaluation memo and kernel cache key expressions by id();
+        # clearing the intern table mid-solve frees those objects for id
+        # recycling, so both caches also key on the table's generation
+        # counter — a cleared table must never serve a pre-clear entry
+        from repro.core.exprs import clear_intern_table
+
+        source = """
+program m
+  call t(3)
+end
+subroutine t(x)
+  integer x
+  call s(x + 1)
+end
+subroutine s(a)
+  integer a
+  write a
+end
+"""
+        config = AnalysisConfig(jump_function=JumpFunctionKind.POLYNOMIAL)
+        lowered, graph, forward = pipeline(source, config)
+        result = SolveResult(val=initial_val(lowered))
+        engine = DeltaEngine(
+            forward.support_index(lowered), result.val, result, compiled=True
+        )
+        engine.seed("m")
+        engine.seed("t")  # evaluates x + 1, memoizes under this generation
+        assert result.val["s"]["a"] == 4
+        hits_before = result.memo_hits
+        clear_intern_table()
+        # same caller env, same expression object: without the generation
+        # in the key this re-evaluation would memo-hit; after a clear it
+        # must miss (and still compute the right value)
+        engine.apply_deltas("t", {"x": None})
+        assert result.memo_hits == hits_before
+        assert result.val["s"]["a"] == 4
 
     def test_stats_report_lists_engine_counters(self):
         result = analyze(SIMPLE)

@@ -5,9 +5,12 @@ from hypothesis import strategies as st
 
 from repro.core.exprs import (
     BOTTOM_EXPR,
+    INTERN_TABLE,
     ConstExpr,
     EntryExpr,
     OpExpr,
+    clear_intern_table,
+    compile_expr,
     const_expr,
     constant_only_value,
     entry_expr,
@@ -146,6 +149,110 @@ class TestEvaluation:
             "+", make_binary("*", entry_expr("x"), const_expr(1)), const_expr(0)
         )
         assert expr.evaluate({"x": k}) == k
+
+
+class TestZeroAbsorptionAtEvalTime:
+    """``0 * x`` is 0 for ANY lattice x — including ⊥ and ⊤ — when the
+    zero arrives at *evaluate* time rather than build time. The build-time
+    rule (``test_multiply_by_zero_beats_bottom``) alone missed the case
+    where the zero flows in through the environment."""
+
+    def setup_method(self):
+        self.product = make_binary("*", entry_expr("a"), entry_expr("b"))
+
+    def test_zero_times_bottom(self):
+        assert self.product.evaluate({"a": 0, "b": BOTTOM}) == 0
+        assert self.product.evaluate({"a": BOTTOM, "b": 0}) == 0
+
+    def test_zero_times_top(self):
+        assert self.product.evaluate({"a": 0, "b": TOP}) == 0
+        assert self.product.evaluate({"a": TOP, "b": 0}) == 0
+
+    def test_zero_times_missing_key(self):
+        # an absent binding evaluates as ⊥ — still absorbed
+        half = make_binary("*", entry_expr("a"), entry_expr("missing"))
+        assert half.evaluate({"a": 0}) == 0
+
+    def test_logical_false_does_not_absorb(self):
+        # LOGICAL .false. == 0 in Python but is NOT the integer zero:
+        # no absorption, so ⊥ wins as usual
+        assert self.product.evaluate({"a": False, "b": BOTTOM}) is BOTTOM
+
+    def test_ordinary_products_unchanged(self):
+        assert self.product.evaluate({"a": 6, "b": 7}) == 42
+        assert self.product.evaluate({"a": TOP, "b": 7}) is TOP
+        assert self.product.evaluate({"a": BOTTOM, "b": 7}) is BOTTOM
+
+
+class TestCompiledKernels:
+    """compile_expr builds closure kernels that must agree with the
+    ``evaluate`` tree walk on every lattice input."""
+
+    ENVS = [
+        {"x": 3, "y": 4},
+        {"x": 0, "y": BOTTOM},
+        {"x": BOTTOM, "y": 0},
+        {"x": TOP, "y": 5},
+        {"x": BOTTOM, "y": TOP},
+        {"x": False, "y": BOTTOM},
+        {},
+    ]
+
+    def assert_kernel_agrees(self, expr):
+        kernel = compile_expr(expr)
+        for env in self.ENVS:
+            assert kernel(env) == expr.evaluate(env) or (
+                kernel(env) is expr.evaluate(env)
+            ), env
+
+    def test_polynomial_kernel(self):
+        expr = make_binary(
+            "+",
+            make_binary("*", const_expr(2), entry_expr("x")),
+            entry_expr("y"),
+        )
+        self.assert_kernel_agrees(expr)
+
+    def test_product_kernel_zero_absorption(self):
+        self.assert_kernel_agrees(
+            make_binary("*", entry_expr("x"), entry_expr("y"))
+        )
+
+    def test_division_kernel(self):
+        self.assert_kernel_agrees(
+            make_binary("/", const_expr(10), entry_expr("x"))
+        )
+
+    def test_unary_and_intrinsic_kernels(self):
+        self.assert_kernel_agrees(make_unary("-", entry_expr("x")))
+        self.assert_kernel_agrees(
+            make_intrinsic("max", [entry_expr("x"), entry_expr("y")])
+        )
+
+    def test_bottom_kernel(self):
+        assert compile_expr(BOTTOM_EXPR)({}) is BOTTOM
+
+    def test_kernel_cache_hit_counted(self):
+        expr = make_binary("+", entry_expr("x"), const_expr(777001))
+        compiles = INTERN_TABLE.kernel_compiles
+        first = compile_expr(expr)
+        assert INTERN_TABLE.kernel_compiles > compiles
+        hits = INTERN_TABLE.kernel_hits
+        assert compile_expr(expr) is first
+        assert INTERN_TABLE.kernel_hits > hits
+
+    def test_clear_bumps_generation_and_drops_kernels(self):
+        # id-keyed caches corrupt silently if a cleared table lets a new
+        # expression recycle an old id; the generation counter in the
+        # cache key makes every pre-clear entry unreachable
+        expr = make_binary("+", entry_expr("x"), const_expr(777002))
+        compile_expr(expr)
+        generation = INTERN_TABLE.generation
+        clear_intern_table()
+        assert INTERN_TABLE.generation == generation + 1
+        assert INTERN_TABLE.kernel_for(expr) is None
+        kernel = compile_expr(expr)  # recompiles under the new generation
+        assert kernel({"x": 1}) == 777003
 
 
 class TestSubstitution:

@@ -249,6 +249,10 @@ end
             "regions",
             "region_passes",
             "regions_warm",
+            "kernel_compiles",
+            "kernel_hits",
+            "waves",
+            "regions_parallel",
         }
         # the diamond is acyclic: four singleton regions, one local
         # sweep each, nothing adopted from a store

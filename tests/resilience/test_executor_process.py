@@ -5,6 +5,9 @@ Marked ``slow``: each test pays process-pool startup, and the timeout
 test deliberately burns its full wall-clock budget.
 """
 
+import multiprocessing
+import time
+
 import pytest
 
 from repro.core.config import AnalysisConfig, JumpFunctionKind
@@ -94,6 +97,35 @@ class TestTimeout:
         assert set(outcome.summaries["healthy"]) == set(CONFIGS)
         records = outcome.failures_for("hung")
         assert any(r.kind is FailureKind.TIMEOUT for r in records)
+
+    def test_timed_out_workers_are_terminated_not_orphaned(self):
+        # the hung worker sleeps far past the budget; cancel() cannot stop
+        # a running future, so before the fix the worker survived the
+        # sweep as an orphan, burning CPU for the rest of its 30 seconds
+        spec = ChaosSpec(
+            faults=(
+                Fault(
+                    stage=Stage.SOLVE, kind="sleep", program="hung",
+                    sleep_seconds=30.0,
+                ),
+            )
+        )
+        outcome = run_sweep(
+            {"hung": GOOD},
+            CONFIGS,
+            _fast_policy(
+                processes=1, task_timeout=1.0, max_retries=0, chaos=spec
+            ),
+        )
+        assert outcome.quarantined == ("hung",)
+        # terminate-then-join already ran inside the sweep; allow a short
+        # grace for process reaping, then require every child gone
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children():
+            if time.monotonic() > deadline:
+                break
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
 
     def test_worker_cache_counters_reported_from_workers(self):
         outcome = run_sweep(

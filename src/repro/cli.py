@@ -85,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--compiled", action="store_true",
                              help="evaluate polynomial jump functions "
                                   "through compiled closure kernels")
+    analyze_cmd.add_argument("--flat", action="store_true",
+                             help="solve stage 3 on the flat slab engine "
+                                  "(integer-coded lattice slots, CSR "
+                                  "fan-out, batched drains; identical "
+                                  "VALs, built for 1k+-procedure corpora)")
     analyze_cmd.add_argument("--store", default=None, metavar="DIR",
                              help="persistent artifact store directory; the "
                                   "run publishes its jump functions and "
@@ -191,6 +196,7 @@ def _config_from(args: argparse.Namespace) -> AnalysisConfig:
         degrade_on_budget=not args.no_degrade,
         parallel_regions=args.parallel,
         compiled_exprs=args.compiled,
+        flat_engine=getattr(args, "flat", False),
     )
 
 

@@ -53,15 +53,23 @@ def solve_binding_graph(
     region_scheduled: bool = True,
     warm: WarmStart | None = None,
     compiled: bool = False,
+    flat: bool = False,
 ) -> SolveResult:
     """Propagate VAL sets over the binding multi-graph.
 
-    ``sanitizer``, ``budget``, ``region_scheduled``, ``warm``, and
-    ``compiled`` mean exactly what they mean for
+    ``sanitizer``, ``budget``, ``region_scheduled``, ``warm``,
+    ``compiled``, and ``flat`` mean exactly what they mean for
     :func:`repro.core.solver.solve` — in particular an attached
     sanitizer forces the fully iterating legacy schedule so every
-    transfer stays observable.
+    transfer stays observable. The flat slab engine *is* a
+    binding-granular schedule (its queue holds individual slots), so
+    ``flat=True`` routes to the same :func:`repro.core.slab.solve_flat`
+    the procedure-grained solver uses.
     """
+    if flat and sanitizer is None and warm is None:
+        from repro.core.slab import solve_flat
+
+        return solve_flat(lowered, graph, forward, budget=budget)
     if sanitizer is not None:
         region_scheduled = False
     if not region_scheduled:

@@ -74,6 +74,12 @@ class AnalysisConfig:
     #: kernels instead of the tree walk (value-identical; see
     #: :func:`repro.core.exprs.compile_expr`).
     compiled_exprs: bool = False
+    #: solve stage 3 over the flat slab engine — integer-coded lattice
+    #: slots, CSR fan-out, batched drains (value-identical; see
+    #: :mod:`repro.core.slab`). Default off until the bench gates for a
+    #: deployment have been exercised; sanitized and warm-start solves
+    #: fall back to the object engine regardless.
+    flat_engine: bool = False
 
     def describe(self) -> str:
         parts = [self.jump_function.value]
@@ -100,6 +106,8 @@ class AnalysisConfig:
             parts.append(f"parallel[{self.parallel_regions}]")
         if self.compiled_exprs:
             parts.append("compiled")
+        if self.flat_engine:
+            parts.append("flat")
         return "+".join(parts)
 
 

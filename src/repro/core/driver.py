@@ -418,7 +418,7 @@ def _attempt_solve(
         chaos_point(Stage.SOLVE, scope="sparse")
         return solve(
             lowered, graph, forward, budget=budget, warm=warm,
-            compiled=compiled,
+            compiled=compiled, flat=config.flat_engine,
         )
     except BudgetExhaustedError:
         raise

@@ -29,6 +29,15 @@ carrying the counter attributes listed in :data:`ENGINE_COUNTERS`
 is a monotone function of the caller environment and every lowering is
 re-propagated, any drain order reaches the same greatest fixpoint as the
 dense reference solver — the suite cross-checks bit-identical VAL sets.
+
+This module is the *object* engine: boxed lattice values in dicts keyed
+by entry keys, :class:`BindingEdge` instances in dict-of-tuples. It
+stays the semantic reference (and the only engine sanitizers and warm
+starts run on). :mod:`repro.core.slab` flattens the same
+:class:`SupportIndex` into integer-coded arrays for large corpora;
+``build_slab`` consumes the ``seeds``/``kills``/``dependents``/
+``callees`` structure produced here, so the two engines cannot drift on
+which edges exist.
 """
 
 from __future__ import annotations

@@ -522,8 +522,20 @@ def _compile_node(expr: ValueExpr, table: InternTable):
     if isinstance(expr, _BottomExpr):
         return lambda env: BOTTOM
     assert isinstance(expr, OpExpr)
-    op, arity = expr.op, expr.arity
     kernels = tuple(compile_expr(arg, table) for arg in expr.args)
+    return _compile_op(expr, kernels)
+
+
+def _compile_op(expr: OpExpr, kernels):
+    """Build the operator closure over already-compiled operand kernels.
+
+    The closures are *carrier-agnostic*: they call their operand kernels
+    with whatever single argument they themselves received and only touch
+    the lattice values those return. The same bodies therefore serve both
+    the boxed-environment kernels (``kernel(env)``) and the slab kernels
+    (``kernel(codes)``) — only the leaves differ between the two targets.
+    """
+    op, arity = expr.op, expr.arity
     if arity == "bin":
         ka, kb = kernels
         if op == "*":
@@ -635,3 +647,45 @@ def compile_expr(expr: ValueExpr, table: InternTable = INTERN_TABLE):
     table.kernel_compiles += 1
     table._kernels[key] = (expr, kernel)
     return kernel
+
+
+def compile_slab_expr(expr: ValueExpr, slots: Mapping[EntryKey, int], constants):
+    """Compile ``expr`` into a ``kernel(codes) -> LatticeValue`` closure
+    that reads a flat slab (``codes[slot]`` tagged ints) instead of a
+    boxed environment dict.
+
+    ``slots`` maps the owning procedure's entry keys to slot *offsets
+    within the codes carrier the kernel will be handed* and ``constants``
+    is the live constant-pool value list (captured by reference, so values
+    interned after compilation still decode). Entry keys outside ``slots``
+    are ⊥, mirroring ``env.get(key, BOTTOM)``. Operator nodes reuse the
+    exact closure bodies of :func:`compile_expr` via ``_compile_op`` —
+    the two kernel families are value-identical by construction.
+
+    Unlike ``compile_expr`` these kernels close over plain ints and the
+    pool list, never over interned expressions, so they are immune to
+    :func:`clear_intern_table`; the slab caches them itself, keyed by
+    structure at build time.
+    """
+    if isinstance(expr, ConstExpr):
+        value = expr.value
+        return lambda codes: value
+    if isinstance(expr, EntryExpr):
+        slot = slots.get(expr.key)
+        if slot is None:
+            return lambda codes: BOTTOM
+
+        def leaf(codes, _slot=slot, _constants=constants):
+            code = codes[_slot]
+            if code >= 2:
+                return _constants[code - 2]
+            return TOP if code == 0 else BOTTOM
+
+        return leaf
+    if isinstance(expr, _BottomExpr):
+        return lambda codes: BOTTOM
+    assert isinstance(expr, OpExpr)
+    kernels = tuple(
+        compile_slab_expr(arg, slots, constants) for arg in expr.args
+    )
+    return _compile_op(expr, kernels)

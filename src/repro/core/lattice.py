@@ -81,9 +81,16 @@ def meet(a: LatticeValue, b: LatticeValue) -> LatticeValue:
 
 
 def meet_all(values: Iterable[LatticeValue]) -> LatticeValue:
-    """Meet of a sequence; the meet of nothing is ⊤."""
+    """Meet of a sequence; the meet of nothing is ⊤.
+
+    ⊥ is absorbing, so the fold short-circuits on the first ⊥ *input*
+    without spending a :func:`meet` call on it — reductions over wide
+    fan-in (SCCP phi joins, sweep merges) stop at the first unknown.
+    """
     result: LatticeValue = TOP
     for value in values:
+        if value is BOTTOM:
+            return BOTTOM
         result = meet(result, value)
         if result is BOTTOM:
             return BOTTOM

@@ -29,8 +29,12 @@ parent's. Under the default ``fork`` start method the rebuild is skipped
 entirely: the module-level worker state is stamped before the pool is
 created, and forked children inherit the parent's structures
 copy-on-write. Tasks ship only ``(region index, reached members, entry
-environments)`` and return a picklable :class:`RegionOutcome`; the
-lattice singletons ⊤/⊥ reduce to themselves across the boundary.
+environments)`` and return a picklable :class:`RegionOutcome` whose
+environments are :class:`~repro.core.slab.SlabSegment`-encoded —
+tagged-int code arrays plus a self-contained constant pool per
+segment, far smaller on the wire than boxed dicts of lattice values;
+the lattice singletons ⊤/⊥ reduce to themselves across the boundary
+where they do still travel (inside ship-side entry environments).
 
 Failure contract: any pool- or task-level failure (a worker killed
 mid-wave, a pickling error, a schedule violation) raises
@@ -67,6 +71,7 @@ from repro.core.regions import (
     region_schedule,
     wave_schedule,
 )
+from repro.core.slab import SlabSegment, encode_env
 from repro.core.solver import (
     SolveResult,
     _partition_for,
@@ -94,7 +99,7 @@ class ParallelSolveError(ResilienceError):
     stage = Stage.SOLVE
 
 
-@dataclass
+@dataclass(slots=True)
 class _WorkerState:
     """Stages 0–2, as one process (parent or worker) sees them."""
 
@@ -111,7 +116,7 @@ class _WorkerState:
     compiled: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegionOutcome:
     """One region's converged fixed point, ready to merge.
 
@@ -119,15 +124,19 @@ class RegionOutcome:
     members; ``contributions`` the cross-region flush results — per
     callee, the keys the region's edges lowered *from ⊤ in private
     scratch*, i.e. exactly the meet of this region's incoming values,
-    for the parent to meet into the shared VAL. ``activations`` are the
+    for the parent to meet into the shared VAL. Both are shipped as
+    :class:`~repro.core.slab.SlabSegment`s (key tuple + tagged-int
+    codes + per-segment constant pool) rather than boxed dicts: the
+    pickle payload shrinks to a few machine words per binding and the
+    parent decodes lazily while merging. ``activations`` are the
     cross-region callees reached (with or without lowered keys).
     """
 
     index: int
     processed: tuple[str, ...]
-    member_envs: dict[str, dict[EntryKey, LatticeValue]]
+    member_envs: dict[str, SlabSegment]
     activations: tuple[str, ...]
-    contributions: dict[str, dict[EntryKey, LatticeValue]]
+    contributions: dict[str, SlabSegment]
     counters: dict[str, int]
     local_passes: int
     pops: int
@@ -322,13 +331,13 @@ def _solve_region_task(
                 slot = touched[callee] = {}
             slot.update(keys)
     contributions = {
-        callee: {key: scratch[callee][key] for key in keys}
+        callee: encode_env({key: scratch[callee][key] for key in keys})
         for callee, keys in touched.items()
     }
     return RegionOutcome(
         index=index,
         processed=tuple(processed),
-        member_envs={proc: scratch[proc] for proc in processed},
+        member_envs={proc: encode_env(scratch[proc]) for proc in processed},
         activations=tuple(sorted(activations)),
         contributions=contributions,
         counters={name: getattr(stats, name) for name in ENGINE_COUNTERS},
@@ -502,16 +511,16 @@ class ParallelRegionSolver:
         result.regions += 1
         done.add(outcome.index)
         result.reached.update(outcome.processed)
-        for member, env in outcome.member_envs.items():
-            result.val[member].update(env)
+        for member, segment in outcome.member_envs.items():
+            result.val[member].update(segment.items())
         counters = outcome.counters
         for name in ENGINE_COUNTERS:
             setattr(result, name, getattr(result, name) + counters[name])
         result.region_passes += outcome.local_passes
         result.pops += outcome.pops
-        for callee, env in outcome.contributions.items():
+        for callee, segment in outcome.contributions.items():
             target = result.val[callee]
-            for key, incoming in env.items():
+            for key, incoming in segment.items():
                 old = target[key]
                 new = incoming if old is TOP else meet(old, incoming)
                 if new != old:

@@ -57,6 +57,14 @@ class RegionSchedule:
         """The member tuples in schedule order (for tests/reports)."""
         return [region.members for region in self.regions]
 
+    def procedures(self) -> tuple[str, ...]:
+        """Every procedure, flattened in schedule order (callers first,
+        SCC members adjacent). The slab builder lays out slot ids in this
+        order so one region's slots are contiguous in the flat arrays."""
+        return tuple(
+            name for region in self.regions for name in region.members
+        )
+
 
 def build_region_schedule(graph: CallGraph) -> RegionSchedule:
     """Condense ``graph`` and order the components callers-first."""

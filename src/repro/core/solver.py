@@ -65,7 +65,7 @@ from repro.frontend.symbols import GlobalId
 from repro.ir.lower import LoweredProgram
 
 
-@dataclass
+@dataclass(slots=True)
 class SolveResult:
     """VAL sets plus solver statistics.
 
@@ -110,6 +110,11 @@ class SolveResult:
     #: regions it dispatched to pool workers (0 for sequential solves).
     waves: int = 0
     regions_parallel: int = 0
+    #: flat slab engine (:mod:`repro.core.slab`) shape and drain counters
+    #: (0 unless the solve ran with ``flat=True``).
+    slab_slots: int = 0
+    slab_bytes: int = 0
+    batch_drains: int = 0
 
     def constants(self, proc: str) -> dict[EntryKey, LatticeValue]:
         """CONSTANTS(p): the entry keys proven constant (paper §2)."""
@@ -141,10 +146,13 @@ class SolveResult:
             "regions_warm": self.regions_warm,
             "waves": self.waves,
             "regions_parallel": self.regions_parallel,
+            "slab_slots": self.slab_slots,
+            "slab_bytes": self.slab_bytes,
+            "batch_drains": self.batch_drains,
         }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WarmStart:
     """Stored region solutions an incremental re-analysis trusts.
 
@@ -289,6 +297,7 @@ def solve(
     region_scheduled: bool = True,
     warm: WarmStart | None = None,
     compiled: bool = False,
+    flat: bool = False,
 ) -> SolveResult:
     """Sparse delta-driven propagation to a fixpoint (procedure-grained).
 
@@ -317,7 +326,18 @@ def solve(
     compiled closure kernels (:func:`repro.core.exprs.compile_expr`)
     instead of the ``evaluate`` tree walk — value-identical, counted
     under ``kernel_compiles``/``kernel_hits``.
+
+    ``flat=True`` routes the whole solve through the flat slab engine
+    (:mod:`repro.core.slab`): integer-coded lattice slots, CSR fan-out,
+    batched drains. Byte-identical VALs, different representation-level
+    counters (see the slab module docstring). Sanitized solves need the
+    boxed transfers to observe and warm starts adopt boxed
+    environments, so either one falls back to the object engine.
     """
+    if flat and sanitizer is None and warm is None:
+        from repro.core.slab import solve_flat
+
+        return solve_flat(lowered, graph, forward, budget=budget)
     if sanitizer is not None:
         # Sanitizing is about observability, not speed: the sanitizer's
         # monotone-descent check needs to see *every* transfer of an

@@ -37,7 +37,7 @@ from repro.frontend.symbols import Symbol
 # --------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Const:
     """A literal. ``type`` distinguishes 1 (INTEGER) from .true. (LOGICAL)."""
 
@@ -62,7 +62,7 @@ def bool_const(value: bool) -> Const:
     return Const(value, Type.LOGICAL)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Temp:
     """A single-assignment compiler temporary."""
 
@@ -73,7 +73,7 @@ class Temp:
         return f"t{self.index}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarUse:
     """A use of a named variable; ``span`` points at the source reference."""
 
@@ -84,7 +84,7 @@ class VarUse:
         return self.symbol.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SSAName:
     """A versioned named variable, produced by SSA renaming.
 
@@ -103,7 +103,7 @@ class SSAName:
 Operand = Const | Temp | VarUse | SSAName
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarDef:
     """A definition point of a named variable (pre-SSA destination)."""
 
@@ -132,7 +132,7 @@ class ArgumentKind(enum.Enum):
     ARRAY = "array"  # whole array actual
 
 
-@dataclass
+@dataclass(slots=True)
 class Argument:
     """One actual parameter at a call site."""
 
@@ -164,7 +164,7 @@ class Argument:
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Instr:
     """Base instruction. Subclasses override ``uses``/``dest`` accessors."""
 
@@ -189,7 +189,7 @@ class Instr:
         return False
 
 
-@dataclass
+@dataclass(slots=True)
 class _HasDest(Instr):
     """Mixin for instructions with a scalar destination (``result``)."""
 
@@ -203,7 +203,7 @@ class _HasDest(Instr):
         self.result = dest
 
 
-@dataclass
+@dataclass(slots=True)
 class BinOp(_HasDest):
     """``dest = left op right`` with FORTRAN arithmetic/compare/logical ops."""
 
@@ -219,7 +219,7 @@ class BinOp(_HasDest):
         self.right = mapping(self.right)
 
 
-@dataclass
+@dataclass(slots=True)
 class UnOp(_HasDest):
     """``dest = op operand`` for unary minus and .not."""
 
@@ -233,7 +233,7 @@ class UnOp(_HasDest):
         self.operand = mapping(self.operand)
 
 
-@dataclass
+@dataclass(slots=True)
 class Convert(_HasDest):
     """Type conversion inserted by mixed-type assignment (int<->real)."""
 
@@ -247,7 +247,7 @@ class Convert(_HasDest):
         self.operand = mapping(self.operand)
 
 
-@dataclass
+@dataclass(slots=True)
 class IntrinsicOp(_HasDest):
     """``dest = intrinsic(args...)`` for mod/max/min/abs/..."""
 
@@ -261,7 +261,7 @@ class IntrinsicOp(_HasDest):
         self.args = [mapping(a) for a in self.args]
 
 
-@dataclass
+@dataclass(slots=True)
 class Copy(_HasDest):
     """``dest = src``."""
 
@@ -274,7 +274,7 @@ class Copy(_HasDest):
         self.src = mapping(self.src)
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadArr(_HasDest):
     """``dest = array(indices)`` — value is always ⊥ to the analysis."""
 
@@ -288,7 +288,7 @@ class LoadArr(_HasDest):
         self.indices = [mapping(i) for i in self.indices]
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreArr(Instr):
     """``array(indices) = src`` — contributes the array to MOD only."""
 
@@ -304,7 +304,7 @@ class StoreArr(Instr):
         self.src = mapping(self.src)
 
 
-@dataclass
+@dataclass(slots=True)
 class Call(_HasDest):
     """A call site. ``dest`` is None for subroutine calls.
 
@@ -333,7 +333,7 @@ class Call(_HasDest):
             arg.indices = [mapping(i) for i in arg.indices]
 
 
-@dataclass
+@dataclass(slots=True)
 class CallKill(Instr):
     """Pseudo-definition of a scalar a preceding call may modify.
 
@@ -359,7 +359,7 @@ class CallKill(Instr):
         self.target = dest
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadVar(Instr):
     """``read var`` — defines ``var`` with a runtime (unknown) value."""
 
@@ -374,7 +374,7 @@ class ReadVar(Instr):
         self.target = dest
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadArr(Instr):
     """``read array(indices)`` — MODs the array, value untracked."""
 
@@ -388,7 +388,7 @@ class ReadArr(Instr):
         self.indices = [mapping(i) for i in self.indices]
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteOut(Instr):
     """``write values...`` — a pure use."""
 
@@ -401,7 +401,7 @@ class WriteOut(Instr):
         self.values = [mapping(v) for v in self.values]
 
 
-@dataclass
+@dataclass(slots=True)
 class Phi(_HasDest):
     """SSA phi: ``dest = phi(block -> operand)``."""
 
@@ -414,7 +414,7 @@ class Phi(_HasDest):
         self.incoming = {b: mapping(v) for b, v in self.incoming.items()}
 
 
-@dataclass
+@dataclass(slots=True)
 class Jump(Instr):
     """Unconditional branch to block ``target`` (a block id)."""
 
@@ -425,7 +425,7 @@ class Jump(Instr):
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class CJump(Instr):
     """Conditional branch on a logical operand."""
 
@@ -444,7 +444,7 @@ class CJump(Instr):
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class Return(Instr):
     """Return from the procedure (function results travel via the
     RESULT variable, not an operand)."""
@@ -454,7 +454,7 @@ class Return(Instr):
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class Stop(Instr):
     """Program termination; control never reaches the exit block."""
 

@@ -465,6 +465,36 @@ def _emit_idioms(builder: _Builder) -> None:
         phase = builder.phase_index()
         builder.add_stmt(phase, f"  call {kernel}(6)")
 
+    # 12. one giant SCC: a guarded recursion ring. Every member calls
+    # the next (the last wraps to the first), so the static call graph
+    # has a single `scc_ring`-member strongly connected component, while
+    # execution unwinds only `scc_depth + 1` frames before the guard
+    # stops it. The depth counter is a polynomial jump function (d - 1)
+    # that meets to ⊥ around the cycle; the payload passes through
+    # unchanged and stays constant — a region solver must iterate the
+    # whole component to prove both.
+    if profile.scc_ring:
+        ring = [builder.fresh("rg") for _ in range(profile.scc_ring)]
+        for here, nxt in zip(ring, ring[1:] + ring[:1]):
+            builder.procedures.append(
+                "\n".join(
+                    [
+                        f"subroutine {here}(d, x)",
+                        "  integer d, x, z",
+                        "  if (d > 0) then",
+                        f"    call {nxt}(d - 1, x)",
+                        "  endif",
+                        "  z = x + 1",
+                        "  write z",
+                        "end",
+                    ]
+                )
+            )
+        phase = builder.phase_index()
+        builder.add_stmt(
+            phase, f"  call {ring[0]}({profile.scc_depth}, {builder.const()})"
+        )
+
 
 def _assemble(builder: _Builder) -> str:
     profile = builder.profile

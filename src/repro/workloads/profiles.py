@@ -85,6 +85,12 @@ class WorkloadProfile:
     #: call global-referencing kernels from the main program directly
     #: (depth 1), so even the intraprocedural jump function sees them.
     shallow_globals: bool = False
+    #: procedures forming one guarded recursion ring (a single giant SCC
+    #: in the call graph); 0 disables the idiom.
+    scc_ring: int = 0
+    #: the recursion-depth constant driven into the ring — execution
+    #: unwinds this many frames, so keep it small for executability.
+    scc_depth: int = 3
 
     def scaled(self, factor: float) -> "WorkloadProfile":
         """A smaller/larger variant with the same shape (for fast tests)."""
@@ -117,6 +123,8 @@ class WorkloadProfile:
             leaf_call_fraction=self.leaf_call_fraction,
             extra_global_leaves=scale(self.extra_global_leaves),
             shallow_globals=self.shallow_globals,
+            scc_ring=scale(self.scc_ring),
+            scc_depth=self.scc_depth,
         )
 
 
@@ -208,5 +216,48 @@ PROFILES: dict[str, WorkloadProfile] = {
         global_constants=0, mod_sensitive=0,
         local_constants=1, set_use=5, set_use_calls=5,
         read_kills=1, conflicting_sites=1, function_results=0,
+    ),
+}
+
+#: The ``large`` family: 1k-procedure corpora for the scaling tier
+#: (ROADMAP "scale the workload axis by 100x"). Deliberately *not*
+#: merged into :data:`PROFILES` — the Table 1–3 experiments and the
+#: suite-wide differential tests iterate over PROFILES and must stay
+#: fast; these load by name through :func:`repro.workloads.suite.load`
+#: and run only under the ``slow`` marker and the flat-engine benchmark
+#: gates. Each stresses a different call-graph shape:
+#:
+#: ``large_chain``
+#:     deep pass-through chains — long dependency paths, one binding
+#:     per procedure, the shape where propagation depth dominates.
+#: ``large_fanout``
+#:     wide flat fan-out from a few drivers — thousands of independent
+#:     call sites, the shape where seed-sweep throughput dominates.
+#: ``large_scc``
+#:     one giant guarded-recursion ring (a single 800-member SCC) —
+#:     the shape where iteration-to-fixpoint and delta fan-out
+#:     dominate.
+LARGE_PROFILES: dict[str, WorkloadProfile] = {
+    "large_chain": WorkloadProfile(
+        name="large_chain", seed=701, phases=8, pad_statements=2,
+        literal_args=12, intra_args=6, passthrough_chains=24,
+        chain_depth=40, global_constants=4, mod_sensitive=4,
+        local_constants=6, read_kills=2, conflicting_sites=4,
+        function_results=2,
+    ),
+    "large_fanout": WorkloadProfile(
+        name="large_fanout", seed=702, phases=16, pad_statements=2,
+        literal_args=400, intra_args=200, passthrough_chains=4,
+        chain_depth=4, global_constants=8, extra_global_leaves=40,
+        shallow_globals=True, mod_sensitive=20, local_constants=80,
+        set_use=120, set_use_calls=120, read_kills=8,
+        conflicting_sites=40, function_results=8,
+    ),
+    "large_scc": WorkloadProfile(
+        name="large_scc", seed=703, phases=8, pad_statements=2,
+        literal_args=40, intra_args=20, passthrough_chains=4,
+        chain_depth=6, global_constants=4, mod_sensitive=8,
+        local_constants=10, read_kills=4, conflicting_sites=10,
+        function_results=2, scc_ring=880, scc_depth=3,
     ),
 }

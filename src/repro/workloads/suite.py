@@ -3,6 +3,12 @@
 ``load_suite()`` materializes all 12 programs (≈ the paper's Table 1
 suite); ``load(name, scale=...)`` fetches one, optionally scaled down for
 fast tests. Results are memoized per (name, scale).
+
+The 1k-procedure ``large`` family (``large_names()``) loads through the
+same :func:`load` but is *not* part of ``suite_names()``/``load_suite()``
+— the Table experiments and suite-wide differential tests iterate those,
+and the large corpora belong to the ``slow``-marked scaling tier and the
+flat-engine benchmark gates only.
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.workloads.generator import GeneratedWorkload, generate
-from repro.workloads.profiles import PROFILES
+from repro.workloads.profiles import LARGE_PROFILES, PROFILES
 
 
 def suite_names() -> list[str]:
@@ -18,15 +24,21 @@ def suite_names() -> list[str]:
     return list(PROFILES)
 
 
+def large_names() -> list[str]:
+    """The 1k-procedure scaling-tier program names."""
+    return list(LARGE_PROFILES)
+
+
 @lru_cache(maxsize=None)
 def load(name: str, scale: float = 1.0) -> GeneratedWorkload:
-    """Generate (or fetch the cached) workload ``name``."""
-    profile = PROFILES[name]
+    """Generate (or fetch the cached) workload ``name`` — a Table 1
+    stand-in or a ``large`` scaling-tier corpus."""
+    profile = PROFILES.get(name) or LARGE_PROFILES[name]
     if scale != 1.0:
         profile = profile.scaled(scale)
     return generate(profile)
 
 
 def load_suite(scale: float = 1.0) -> dict[str, GeneratedWorkload]:
-    """All programs, in table order."""
+    """All (Table-order) programs; the large tier is excluded."""
     return {name: load(name, scale) for name in suite_names()}

@@ -84,6 +84,42 @@ class TestLatticeLaws:
         assert meet_all(values) == folded
 
 
+class TestMeetAllShortCircuit:
+    """meet_all stops at the first ⊥ *input* without spending a meet on
+    it — wide fan-in reductions (SCCP phi joins, sweep merges) should
+    not pay for values that cannot change the answer."""
+
+    def counting(self, monkeypatch):
+        import repro.core.lattice as lattice
+
+        calls = []
+        real = lattice.meet
+
+        def counted(a, b):
+            calls.append((a, b))
+            return real(a, b)
+
+        monkeypatch.setattr(lattice, "meet", counted)
+        return calls
+
+    def test_leading_bottom_spends_no_meets(self, monkeypatch):
+        calls = self.counting(monkeypatch)
+        assert meet_all([BOTTOM, 1, 2, 3]) is BOTTOM
+        assert calls == []
+
+    def test_fold_stops_at_first_bottom_input(self, monkeypatch):
+        calls = self.counting(monkeypatch)
+        assert meet_all([7, 7, BOTTOM, 8, 9]) is BOTTOM
+        # only the two 7s were folded; nothing after the ⊥ was touched
+        assert len(calls) == 2
+
+    def test_conflict_still_short_circuits(self, monkeypatch):
+        calls = self.counting(monkeypatch)
+        # 1 ⊓ 2 = ⊥ by conflict: the fold stops without meeting 3
+        assert meet_all([1, 2, 3]) is BOTTOM
+        assert len(calls) == 2
+
+
 class TestBoundedDepth:
     """The lattice depth bound of §2: a value lowers at most twice."""
 

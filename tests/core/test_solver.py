@@ -253,6 +253,9 @@ end
             "kernel_hits",
             "waves",
             "regions_parallel",
+            "slab_slots",
+            "slab_bytes",
+            "batch_drains",
         }
         # the diamond is acyclic: four singleton regions, one local
         # sweep each, nothing adopted from a store

@@ -51,8 +51,6 @@ Procedures never reached from the main program keep ⊤ (paper §2).
 
 from __future__ import annotations
 
-import heapq
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.callgraph.graph import CallGraph
@@ -61,8 +59,15 @@ from repro.core.engine import DeltaEngine, RegionPartition, entry_keys
 from repro.core.exprs import EntryKey
 from repro.core.lattice import BOTTOM, TOP, LatticeValue, is_constant, meet
 from repro.core.regions import region_schedule
+from repro.framework.driver import drive_global_schedule, drive_region_schedule
+from repro.framework.worklist import PriorityWorklist
 from repro.frontend.symbols import GlobalId
 from repro.ir.lower import LoweredProgram
+
+#: Compatibility alias — the worklist moved to the framework package
+#: (PR 8); the binding-grain solver and the parallel scheduler import
+#: it under this name.
+_PriorityWorklist = PriorityWorklist
 
 
 @dataclass(slots=True)
@@ -214,55 +219,6 @@ def bottom_val(lowered: LoweredProgram) -> dict[str, dict[EntryKey, LatticeValue
     return val
 
 
-class _PriorityWorklist:
-    """A worklist ordered by reverse-postorder priority, with membership
-    dedup and monotone-sweep ("pass") accounting shared by both solvers."""
-
-    def __init__(self, order: dict[str, int]):
-        self._order = order
-        self._heap: list[tuple[int, int, object]] = []
-        self._queued: set[object] = set()
-        self._seq = 0
-        self._last_priority: int | None = None
-        self.passes = 0
-        self.pops = 0
-
-    def __bool__(self) -> bool:
-        return bool(self._heap)
-
-    def priority_of(self, proc: str) -> int:
-        # Procedures introduced after the order was computed (impossible
-        # today, defensive) sort last.
-        return self._order.get(proc, len(self._order))
-
-    def push(self, item: object, proc: str) -> None:
-        if item in self._queued:
-            return
-        self._queued.add(item)
-        self._seq += 1
-        heapq.heappush(self._heap, (self.priority_of(proc), self._seq, item))
-
-    def pop(self) -> object:
-        priority, _, item = heapq.heappop(self._heap)
-        self._queued.discard(item)
-        self.pops += 1
-        if self._last_priority is None or priority <= self._last_priority:
-            self.passes += 1  # the ascending run wrapped: a new sweep
-        self._last_priority = priority
-        return item
-
-    def begin_segment(self) -> int:
-        """Open a new pass-counting segment (one region's convergence):
-        the next pop starts a fresh ascending run instead of comparing
-        against the previous region's last priority — SCC member
-        priorities of different regions may interleave, and a cross-
-        boundary comparison would count spurious sweeps. Returns the
-        pass count at the boundary, so ``passes - mark`` is the
-        segment-local sweep count."""
-        self._last_priority = None
-        return self.passes
-
-
 def _partition_for(
     forward: ForwardFunctions,
     lowered: LoweredProgram,
@@ -356,7 +312,6 @@ def solve(
             compiled=compiled,
         )
     schedule = region_schedule(graph)
-    region_of = schedule.region_of
     result = SolveResult(val=initial_val(lowered))
     engine = DeltaEngine(
         forward.support_index(lowered),
@@ -364,146 +319,18 @@ def solve(
         result,
         sanitizer,
         budget,
-        partition=_partition_for(forward, lowered, region_of),
+        partition=_partition_for(forward, lowered, schedule.region_of),
         compiled=compiled,
     )
-    worklist = _PriorityWorklist(graph.rpo_index())
-    #: procedure -> entry keys that lowered since its last visit
-    #: (insertion-ordered so counter totals are run-to-run deterministic).
-    pending: dict[str, dict[EntryKey, None]] = defaultdict(dict)
-    seeded: set[str] = set()
-    #: region index -> members reached but not yet processed there.
-    active: dict[int, set[str]] = {}
-    #: region index -> deltas delivered after the region converged
-    #: (defensive: cannot happen on a topologically ordered schedule).
-    inbox: dict[int, dict[str, dict[EntryKey, None]]] = {}
-    dirty: list[int] = []
-    queued: set[int] = set()
-
-    def activate(proc: str) -> None:
-        index = region_of[proc]
-        active.setdefault(index, set()).add(proc)
-        if index not in queued:
-            queued.add(index)
-            heapq.heappush(dirty, index)
-
-    def deliver(proc: str, keys: dict[EntryKey, None]) -> None:
-        # A cross-region flush lowered `proc`'s entry keys. If proc has
-        # not been seeded yet its future seed reads the updated — final —
-        # environment, so no delta bookkeeping is needed; if it has (a
-        # re-queued earlier region), the keys must re-propagate there.
-        if proc in seeded:
-            slot = inbox.setdefault(region_of[proc], {}).setdefault(proc, {})
-            slot.update(keys)
-        activate(proc)
-
-    main = lowered.program.main
-    if warm is not None:
-        clean_regions = {region_of[proc] for proc in warm.clean}
-        result.regions_warm = len(clean_regions)
-        for proc in warm.clean:
-            env = warm.envs.get(proc)
-            if env:
-                result.val[proc].update(env)
-            seeded.add(proc)  # adopted: never seed a clean procedure
-        result.reached.update(warm.reached)
-        # The warm frontier: each reached clean caller evaluates its
-        # edges into invalidated regions exactly once, from its adopted
-        # (final) environment. Edges between clean procedures stay
-        # unevaluated — both endpoints' stored solutions already agree.
-        for proc in sorted(warm.reached, key=worklist.priority_of):
-            invalid = {
-                callee
-                for callee in engine.callees(proc)
-                if callee not in warm.clean
-            }
-            if not invalid:
-                continue
-            for callee in sorted(invalid):
-                activate(callee)
-            for callee, keys in engine.flush_region(proc, only=invalid).items():
-                deliver(callee, keys)
-    if warm is None or main not in warm.clean:
-        activate(main)
-
-    max_local = 0
-    while dirty:
-        index = heapq.heappop(dirty)
-        queued.discard(index)
-        members = active.pop(index, set())
-        box = inbox.pop(index, {})
-        if not members and not box:
-            continue
-        result.regions += 1
-        # Fast path: a non-recursive singleton region (every region of a
-        # DAG-shaped call graph) converges in exactly one visit — seed or
-        # apply deltas, reach callees, flush. Bypassing the worklist
-        # machinery here is what keeps region scheduling from costing
-        # wall-clock on programs with no recursion at all.
-        region = schedule.regions[index]
-        if not box and not region.recursive and len(members) == 1:
-            (proc,) = members
-            if budget is not None:
-                budget.check_passes(1)
-            worklist.pops += 1
-            result.reached.add(proc)
-            if proc not in seeded:
-                seeded.add(proc)
-                pending.pop(proc, None)  # the seed evaluates everything
-                engine.seed(proc)  # a singleton has no internal edges
-            else:
-                deltas = pending.pop(proc, None)
-                if deltas:
-                    engine.apply_deltas(proc, deltas)
-            for callee in engine.callees(proc):
-                activate(callee)
-            result.region_passes += 1
-            if max_local < 1:
-                max_local = 1
-            for callee, keys in engine.flush_region(proc).items():
-                deliver(callee, keys)
-            continue
-        mark = worklist.begin_segment()
-        for proc in sorted(members):
-            worklist.push(proc, proc)
-        for proc, keys in box.items():
-            pending[proc].update(keys)
-            worklist.push(proc, proc)
-        processed: dict[str, None] = {}
-        while worklist:
-            caller = worklist.pop()
-            if budget is not None:
-                budget.check_passes(worklist.passes - mark)
-            result.reached.add(caller)
-            processed[caller] = None
-            if caller not in seeded:
-                seeded.add(caller)
-                pending.pop(caller, None)  # the seed evaluates everything
-                changed = engine.seed(caller)
-            else:
-                deltas = pending.pop(caller, None)
-                changed = engine.apply_deltas(caller, deltas) if deltas else {}
-            for callee, keys in changed.items():
-                # intra-region by construction of the partition
-                pending[callee].update(keys)
-                worklist.push(callee, callee)
-            for callee in engine.callees(caller):
-                if region_of[callee] == index:
-                    if callee not in seeded:
-                        worklist.push(callee, callee)  # reach without deltas
-                else:
-                    activate(callee)  # cross-region reach
-        local = worklist.passes - mark
-        result.region_passes += local
-        if local > max_local:
-            max_local = local
-        # The region is at its local fixed point: evaluate every
-        # cross-region edge of its reached members exactly once.
-        for caller in processed:
-            for callee, keys in engine.flush_region(caller).items():
-                deliver(callee, keys)
-    result.passes = max_local
-    result.pops = worklist.pops
+    drive_region_schedule(
+        engine,
+        schedule,
+        PriorityWorklist(graph.rpo_index()),
+        result,
+        roots=(lowered.program.main,),
+        budget=budget,
+        warm=warm,
+    )
     return result
 
 
@@ -529,32 +356,13 @@ def _solve_legacy(
         budget,
         compiled=compiled,
     )
-
-    worklist = _PriorityWorklist(graph.rpo_index())
-    main = lowered.program.main
-    worklist.push(main, main)
-    pending: dict[str, dict[EntryKey, None]] = defaultdict(dict)
-    seeded: set[str] = set()
-    while worklist:
-        caller = worklist.pop()
-        if budget is not None:
-            budget.check_passes(worklist.passes)
-        result.reached.add(caller)
-        if caller not in seeded:
-            seeded.add(caller)
-            pending.pop(caller, None)  # the seed evaluates everything
-            changed = engine.seed(caller)
-        else:
-            deltas = pending.pop(caller, None)
-            changed = engine.apply_deltas(caller, deltas) if deltas else {}
-        for callee, keys in changed.items():
-            pending[callee].update(keys)
-            worklist.push(callee, callee)
-        for callee in engine.callees(caller):
-            if callee not in seeded:
-                worklist.push(callee, callee)  # reach even without deltas
-    result.passes = worklist.passes
-    result.pops = worklist.pops
+    drive_global_schedule(
+        engine,
+        PriorityWorklist(graph.rpo_index()),
+        result,
+        roots=(lowered.program.main,),
+        budget=budget,
+    )
     return result
 
 

@@ -1,6 +1,6 @@
 """The shipped checker suite.
 
-Eight passes, one per failure mode the paper's methodology depends on:
+Ten passes, one per failure mode the paper's methodology depends on:
 
 ==========================  =================================================
 ir-wellformed               CFG invariants (pre-SSA and SSA) via the IR
@@ -18,6 +18,11 @@ jump-function-wf            stage-2 output well-formedness: every binding
                             targets a real callee entry key, every support
                             key exists in the caller, constant edges carry
                             no residual expression.
+copy-chain                  (framework copyprop client) one entry value
+                            forwarded unchanged through 2+ procedures — a
+                            copy-of-copy chain across call bindings.
+dead-copy                   (framework copyprop client) formals provably
+                            duplicating storage the callee already sees.
 lattice-sanitizer           (opt-in) re-solves with descent/chain-depth/
                             monotonicity checking and cross-checks the
                             sparse engine against the dense reference.
@@ -62,6 +67,12 @@ CODE_ALIAS_FORMALS = describe_code(
 )
 CODE_ALIAS_GLOBAL = describe_code(
     "RL112", "global passed as actual while the callee touches it via COMMON"
+)
+CODE_COPY_CHAIN = describe_code(
+    "RL130", "entry value copied unchanged through a chain of procedures"
+)
+CODE_DEAD_COPY = describe_code(
+    "RL131", "formal is a redundant cross-procedure copy of visible storage"
 )
 CODE_DEAD_FORMAL = describe_code("RL121", "formal parameter never referenced")
 CODE_UNREF_GLOBAL = describe_code("RL122", "global never referenced")
@@ -452,6 +463,134 @@ class JumpFunctionPass(LintPass):
         return call.span
 
 
+def _copyprop_solution(ctx: LintContext):
+    """The interprocedural copy-propagation fixpoint for the linted
+    program, solved through the generic framework engine once per
+    stage-2 output and shared by every copy-backed pass (cached on the
+    forward functions, the object whose identity tracks the stage-2
+    artifacts)."""
+    from repro.framework.clients.copyprop import CopyPropClient
+    from repro.framework.engine import solve_client
+
+    forward = ctx.forward
+    cached = getattr(forward, "_lint_copyprop_solution", None)
+    if cached is not None:
+        return cached
+    solution = solve_client(ctx.lowered, ctx.graph, CopyPropClient(forward))
+    try:
+        forward._lint_copyprop_solution = solution
+    except AttributeError:
+        pass
+    return solution
+
+
+def _display_key(ctx: LintContext, key) -> str:
+    return key if isinstance(key, str) else ctx.program.global_display(key)
+
+
+class CopyChainPass(LintPass):
+    """Interprocedural copy-of-copy chains, from the framework copyprop
+    client: one main-program entry value arriving *unchanged* in two or
+    more procedures means every call binding along the way merely
+    forwarded it — a chain of copies no single-procedure analysis can
+    see. Informational: chains are legitimate (threading a config value
+    through a pipeline), but each hop is a binding every configuration
+    pays jump-function work for, and a chain is where cloning or
+    globalizing the value would collapse the most edges."""
+
+    name = "copy-chain"
+    code = "RL130"
+    description = "entry values forwarded unchanged through call chains"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.framework.clients.copyprop import CopyOf
+
+        solution = _copyprop_solution(ctx)
+        main = ctx.lowered.program.main
+        holders: dict[object, list[tuple[str, object]]] = {}
+        for proc in sorted(solution.val):
+            if proc == main:
+                continue  # the root itself is not a hop
+            for key, value in solution.val[proc].items():
+                if value.__class__ is CopyOf:
+                    holders.setdefault(value, []).append((proc, key))
+        for root in sorted(holders, key=lambda r: (r.proc, str(r.key))):
+            chain = holders[root]
+            if len(chain) < 2:
+                continue  # one hop is a plain binding, not a chain
+            hops = ", ".join(
+                f"{proc}:{_display_key(ctx, key)}"
+                for proc, key in sorted(
+                    chain, key=lambda item: (item[0], str(item[1]))
+                )
+            )
+            yield self.diagnostic(
+                CODE_COPY_CHAIN,
+                Severity.INFO,
+                f"value of {root.proc}::{_display_key(ctx, root.key)} is "
+                f"copied unchanged into {len(chain)} entry keys across "
+                f"the call graph ({hops})",
+                procedure=root.proc,
+            )
+
+
+class DeadCopyPass(LintPass):
+    """Dead cross-procedure copies: a formal that provably always holds
+    the same value as storage the procedure can already see — a global
+    with the identical copy fact at entry, or another formal of the
+    same procedure. Every caller then passes a value the callee could
+    have read directly; the parameter is a redundant copy that widens
+    each call site's binding table for nothing (same cost argument as
+    RL121 dead formals, but requiring the interprocedural copy
+    fixpoint to establish the redundancy)."""
+
+    name = "dead-copy"
+    code = "RL131"
+    description = "formals duplicating visible storage at every call"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.framework.clients.copyprop import CopyOf
+
+        solution = _copyprop_solution(ctx)
+        main = ctx.lowered.program.main
+        for proc in sorted(solution.val):
+            if proc == main:
+                continue
+            env = solution.val[proc]
+            formals = [
+                name
+                for name in ctx.lowered.procedures[proc].procedure.formals
+                if name.name in env
+            ]
+            for formal in formals:
+                value = env[formal.name]
+                if value.__class__ is not CopyOf:
+                    continue
+                twins = sorted(
+                    (
+                        _display_key(ctx, key)
+                        for key, other in env.items()
+                        if key != formal.name and other == value
+                    ),
+                )
+                if not twins:
+                    continue
+                span = formal.decl_span
+                if span.start.offset == span.end.offset:
+                    span = ctx.lowered.procedures[proc].procedure.ast.span
+                yield self.diagnostic(
+                    CODE_DEAD_COPY,
+                    Severity.WARNING,
+                    f"formal {formal.name!r} of {proc!r} always holds the "
+                    f"same value as {', '.join(repr(t) for t in twins)} "
+                    f"(all copies of "
+                    f"{value.proc}::{_display_key(ctx, value.key)}); the "
+                    f"parameter is a redundant cross-procedure copy",
+                    procedure=proc,
+                    span=span,
+                )
+
+
 class LatticeSanitizerPass(LintPass):
     """Opt-in (``repro lint --sanitize``): re-solves the program with the
     :class:`~repro.diagnostics.sanitizer.LatticeSanitizer` attached, then
@@ -485,6 +624,8 @@ def all_passes() -> list[LintPass]:
         UnreferencedGlobalPass(),
         UnreachableProcedurePass(),
         JumpFunctionPass(),
+        CopyChainPass(),
+        DeadCopyPass(),
         LatticeSanitizerPass(),
     ]
 

@@ -1,0 +1,68 @@
+"""Analysis-agnostic interprocedural dataflow framework.
+
+The stage-3 machinery built across PRs 2–7 — the sparse delta engine,
+the reverse-postorder priority worklist, SCC region scheduling, solve
+budgets, and sanitizer hooks — solves one specific problem: the paper's
+3-level constant lattice driven by jump-function binding edges. This
+package factors that machinery into an analysis-agnostic core in the
+IFDS/IDE tradition (and the value-contexts formulation of Padhye &
+Khedker): a client supplies a :class:`~repro.framework.lattice.Lattice`,
+:class:`~repro.framework.edges.EdgeFunction` transfers attached to
+:class:`~repro.framework.client.FlowEdge` call-graph edges, seed
+environments, and roots; :func:`~repro.framework.engine.solve_client`
+runs the identical seed/delta/flush fixed-point discipline over them.
+
+Layering (no cycles):
+
+- :mod:`repro.framework.worklist` and :mod:`repro.framework.driver`
+  hold the scheduling core *moved out of* ``repro.core.solver`` — the
+  specialized constant-propagation :func:`~repro.core.solver.solve`
+  now delegates to them, so the framework and the paper pipeline
+  literally share one scheduler.
+- :mod:`repro.framework.lattice`, :mod:`repro.framework.edges`, and
+  :mod:`repro.framework.client` define the client contracts.
+- :mod:`repro.framework.engine` is the generic twin of
+  :class:`repro.core.engine.DeltaEngine`, reporting through the same
+  counter keys as :class:`repro.core.solver.SolveResult`.
+- :mod:`repro.framework.clients` hosts the shipped analyses:
+  constant propagation (byte-identical to ``solve()``), interprocedural
+  copy propagation (subsumes constprop), and MOD/REF-as-dataflow
+  (cross-checked against :mod:`repro.callgraph.modref`).
+"""
+
+from repro.framework.client import (
+    AnalysisClient,
+    FlowEdge,
+    FlowIndex,
+    flow_edge,
+)
+from repro.framework.edges import (
+    BottomEdge,
+    ConstantEdge,
+    EdgeFunction,
+    ExprEdge,
+    IdentityEdge,
+)
+from repro.framework.engine import ClientSolveResult, solve_client
+from repro.framework.lattice import (
+    ConstantLattice,
+    Lattice,
+    PowersetLattice,
+)
+
+__all__ = [
+    "AnalysisClient",
+    "BottomEdge",
+    "ClientSolveResult",
+    "ConstantEdge",
+    "ConstantLattice",
+    "EdgeFunction",
+    "ExprEdge",
+    "FlowEdge",
+    "FlowIndex",
+    "flow_edge",
+    "IdentityEdge",
+    "Lattice",
+    "PowersetLattice",
+    "solve_client",
+]

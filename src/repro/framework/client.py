@@ -1,0 +1,155 @@
+"""The client contract: what an analysis supplies to the framework.
+
+An :class:`AnalysisClient` packages one interprocedural dataflow
+problem: the lattice, the entry keys per flow node, the seed
+environment and roots, and a :class:`FlowIndex` of
+:class:`FlowEdge` transfers. :func:`repro.framework.engine.solve_client`
+runs the shared seed/delta/flush fixed-point discipline over that
+package — the same scheduler the constant-propagation pipeline uses.
+
+A :class:`FlowEdge` is the generic twin of
+:class:`repro.core.engine.BindingEdge`: one (site, target key) transfer
+whose function reads the ``source`` node's environment. The structural
+fast-path fields (``const``, ``passthrough``) are derived from the edge
+function at construction so the engine's hot loop never virtual-calls
+for constants or identities — the exact hoisting stage 2 applies to
+jump functions. The field names ``caller``/``callee`` are kept from the
+binding edge (caller = flow source, callee = flow target) so the
+:class:`repro.core.engine.RegionPartition` splitter works on either
+index unchanged; for reverse-flow clients "caller" simply reads as
+"flow predecessor".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.engine import RegionPartition, SupportIndex
+from repro.framework.edges import EdgeFunction
+from repro.framework.graph import FlowGraph
+from repro.framework.lattice import Lattice, Value
+
+#: (flow node, entry key) — one node of the generic binding multi-graph.
+FlowBinding = tuple[str, object]
+
+
+@dataclass(frozen=True, slots=True)
+class FlowEdge:
+    """One (site, target entry key) transfer in a client's flow index."""
+
+    site_id: int
+    #: flow source: the node whose environment ``func`` reads.
+    caller: str
+    #: flow target: the node whose ``key`` the result is met into.
+    callee: str
+    key: object
+    func: EdgeFunction
+    #: ``func.support()``, cached — the delta fan-in.
+    support: tuple
+    #: ``func.constant_value()``, cached — the engine meets it directly.
+    const: Value | None
+    #: ``func.passthrough_key()``, cached — the engine inlines the fetch.
+    passthrough: object | None
+
+
+def flow_edge(
+    site_id: int, source: str, target: str, key: object, func: EdgeFunction
+) -> FlowEdge:
+    """Build a :class:`FlowEdge`, deriving the fast-path fields."""
+    return FlowEdge(
+        site_id,
+        source,
+        target,
+        key,
+        func,
+        func.support(),
+        func.constant_value(),
+        func.passthrough_key(),
+    )
+
+
+class FlowIndex(SupportIndex):
+    """A client's transfer edges in the engine's index shape.
+
+    Subclasses :class:`repro.core.engine.SupportIndex` (the structure is
+    identical — ``seeds``/``kills``/``dependents``/``callees`` — only
+    the edge type differs), so :class:`~repro.core.engine.RegionPartition`
+    splits either kind along region boundaries unchanged.
+    """
+
+    @staticmethod
+    def build(
+        edges: list[FlowEdge],
+        kill_sources: dict[str, list[FlowBinding]] | None = None,
+    ) -> "FlowIndex":
+        """Index ``edges`` by source (seeds), by read key (dependents),
+        and by flow successor (callees). ``kill_sources`` maps a source
+        node to the (target, key) bindings flooring when that source is
+        first visited — the generic form of unbound-callee-key kills
+        (requires a lattice with a finite ⊥)."""
+        seeds: dict[str, list[FlowEdge]] = defaultdict(list)
+        dependents: dict[FlowBinding, list[FlowEdge]] = defaultdict(list)
+        callees: dict[str, list[str]] = defaultdict(list)
+        for edge in edges:
+            seeds[edge.caller].append(edge)
+            if edge.callee not in callees[edge.caller]:
+                callees[edge.caller].append(edge.callee)
+            for support_key in edge.support:
+                dependents[(edge.caller, support_key)].append(edge)
+        kill_map: dict[str, list[FlowBinding]] = defaultdict(list)
+        if kill_sources:
+            for source, bindings in kill_sources.items():
+                kill_map[source].extend(bindings)
+                for target, _ in bindings:
+                    if target not in callees[source]:
+                        callees[source].append(target)
+        return FlowIndex(
+            {proc: tuple(items) for proc, items in seeds.items()},
+            {proc: tuple(pairs) for proc, pairs in kill_map.items()},
+            {binding: tuple(items) for binding, items in dependents.items()},
+            {proc: tuple(names) for proc, names in callees.items()},
+        )
+
+
+class AnalysisClient:
+    """One interprocedural dataflow problem, packaged for the generic
+    driver. Subclasses define the five hooks; everything else — the
+    worklist, region scheduling, memoization, budgets, counters — is
+    shared framework machinery.
+    """
+
+    #: analysis name (CLI surface, stats reports).
+    name: str = "client"
+    lattice: Lattice
+
+    def entry_keys(self, lowered, graph) -> dict[str, list]:
+        """Each flow node's propagated keys (the VAL row shape)."""
+        raise NotImplementedError
+
+    def initial_env(self, lowered, graph) -> dict[str, dict]:
+        """The seed VAL mapping: usually ⊤ everywhere except the roots'
+        boundary facts."""
+        keys = self.entry_keys(lowered, graph)
+        top = self.lattice.top
+        return {node: {key: top for key in node_keys} for node, node_keys in keys.items()}
+
+    def roots(self, lowered, graph) -> tuple[str, ...]:
+        """The flow nodes activated first (constprop: the main program;
+        MOD/REF: every procedure)."""
+        raise NotImplementedError
+
+    def flow_graph(self, lowered, graph):
+        """The graph values flow along — the call graph itself by
+        default; reverse-flow clients return a
+        :class:`~repro.framework.graph.FlowGraph`."""
+        return graph
+
+    def flow_edges(self, lowered, graph) -> FlowIndex:
+        """The client's transfer edges, indexed."""
+        raise NotImplementedError
+
+    def partition(self, lowered, graph, region_of) -> RegionPartition:
+        """The flow index split along region boundaries (cached by
+        concrete clients when their index is cached)."""
+        return RegionPartition(self.flow_edges(lowered, graph), region_of)

@@ -1,0 +1,200 @@
+"""MOD/REF side-effect summaries as a reverse-flow dataflow client.
+
+:func:`repro.callgraph.modref.compute_modref` computes Cooper–Kennedy
+flow-insensitive summaries by chaotic iteration over call sites. This
+client re-derives the same summaries through the generic engine,
+demonstrating the two framework capabilities constprop never exercises:
+
+- **reverse flow**: summaries rise from callees to callers, so the
+  client schedules over the call graph's mirror image
+  (:func:`repro.framework.graph.reverse_flow_graph`) — callee regions
+  converge before their callers', the profitable direction for
+  summaries (and sound regardless: a late delivery re-queues the
+  target region);
+- **a lattice with no finite ⊥**: summary sets grow under union
+  (:class:`~repro.framework.lattice.PowersetLattice`), so the engine's
+  floor short-circuit is inert and termination comes from the finite
+  slot universe instead.
+
+Each procedure carries two entry keys, ``"mod"`` and ``"ref"``, valued
+by frozensets of storage slots in :func:`~repro.callgraph.modref.classify_symbol`
+form. Seeds are the direct (call-free) effects; every procedure is a
+root (summaries exist for procedures the main program never calls).
+One edge per (call site, summary kind) maps callee slots through the
+site's binding: globals rise unchanged, formal effects land on the
+caller slot the actual binds — :func:`~repro.callgraph.modref.site_binding_map`,
+the *same function* the reference implementation folds sites with, so
+the two cannot drift on the binding rule.
+
+:func:`cross_check_modref` compares this client's fixpoint against
+``compute_modref`` and reports any divergence as RL140 diagnostics —
+a lint-style finding, not a crash, so a discrepancy in the field
+surfaces as an actionable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.callgraph.modref import (
+    ModRefInfo,
+    compute_modref,
+    direct_effects,
+    site_binding_map,
+)
+from repro.diagnostics.core import Diagnostic, Severity, describe_code
+from repro.framework.client import AnalysisClient, FlowEdge, FlowIndex
+from repro.framework.edges import EdgeFunction
+from repro.framework.graph import reverse_flow_graph
+from repro.framework.lattice import PowersetLattice
+
+#: the two summary kinds, each one entry key per procedure.
+SUMMARY_KEYS = ("mod", "ref")
+
+CODE_DIVERGENCE = describe_code(
+    "RL140",
+    "framework MOD/REF client diverged from the reference summaries",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryBindEdge(EdgeFunction):
+    """Map one callee summary set through one call site's binding:
+    global slots rise unchanged, formal slots land where the actual
+    binds (or vanish — a literal actual absorbs the effect in a
+    temporary the caller never sees)."""
+
+    kind: str
+    #: callee formal name -> caller slot, for bindable actuals only.
+    binding: tuple
+
+    def apply(self, env: Mapping) -> frozenset:
+        source = env.get(self.kind, frozenset())
+        if not source:
+            return frozenset()
+        binding = dict(self.binding)
+        mapped = set()
+        for slot in source:
+            if slot[0] == "global":
+                mapped.add(slot)
+            else:
+                target = binding.get(slot[1])
+                if target is not None:
+                    mapped.add(target)
+        return frozenset(mapped)
+
+    def support(self) -> tuple:
+        return (self.kind,)
+
+
+class ModRefClient(AnalysisClient):
+    """MOD/REF summaries over the reversed call graph."""
+
+    name = "modref"
+    lattice = PowersetLattice()
+
+    def entry_keys(self, lowered, graph) -> dict[str, list]:
+        return {name: list(SUMMARY_KEYS) for name in lowered.procedures}
+
+    def initial_env(self, lowered, graph) -> dict[str, dict]:
+        """Each procedure seeded with its direct (call-free) effects;
+        empty sets share the lattice's ⊤ singleton so the engine's
+        identity fast path still fires."""
+        top = self.lattice.top
+        return {
+            name: {
+                "mod": mod or top,
+                "ref": ref or top,
+            }
+            for name, (mod, ref) in direct_effects(lowered).items()
+        }
+
+    def roots(self, lowered, graph) -> tuple[str, ...]:
+        return tuple(sorted(lowered.procedures))
+
+    def flow_graph(self, lowered, graph):
+        return reverse_flow_graph(graph)
+
+    def flow_edges(self, lowered, graph) -> FlowIndex:
+        edges: list[FlowEdge] = []
+        for site_id in sorted(lowered.call_sites):
+            caller, call = lowered.call_sites[site_id]
+            binding = tuple(
+                sorted(site_binding_map(lowered, call).items())
+            )
+            for kind in SUMMARY_KEYS:
+                func = SummaryBindEdge(kind, binding)
+                # flow source = the callee (whose summary is read),
+                # flow target = the caller (whose summary absorbs it).
+                edges.append(
+                    FlowEdge(
+                        site_id,
+                        call.callee,
+                        caller,
+                        kind,
+                        func,
+                        func.support(),
+                        None,
+                        None,
+                    )
+                )
+        return FlowIndex.build(edges)
+
+
+def summary_sets(info: ModRefInfo, proc: str) -> dict[str, frozenset]:
+    """The reference summaries for ``proc`` in the client's slot form."""
+    return {
+        "mod": frozenset(
+            [("formal", name) for name in info.mod_formals.get(proc, ())]
+            + [("global", gid) for gid in info.mod_globals.get(proc, ())]
+        ),
+        "ref": frozenset(
+            [("formal", name) for name in info.ref_formals.get(proc, ())]
+            + [("global", gid) for gid in info.ref_globals.get(proc, ())]
+        ),
+    }
+
+
+def _format_slots(slots) -> str:
+    return (
+        "{" + ", ".join(sorted(f"{kind}:{payload}" for kind, payload in slots)) + "}"
+    )
+
+
+def cross_check_modref(
+    lowered, graph, result=None, *, info: ModRefInfo | None = None
+) -> list[Diagnostic]:
+    """Compare the framework client's fixpoint against
+    :func:`~repro.callgraph.modref.compute_modref`. Returns RL140
+    diagnostics (empty on agreement — the expected outcome); never
+    raises on divergence."""
+    from repro.framework.engine import solve_client
+
+    if result is None:
+        result = solve_client(lowered, graph, ModRefClient())
+    if info is None:
+        info = compute_modref(lowered, graph)
+    findings: list[Diagnostic] = []
+    for proc in sorted(lowered.procedures):
+        reference = summary_sets(info, proc)
+        env = result.val.get(proc, {})
+        for kind in SUMMARY_KEYS:
+            mine = env.get(kind, frozenset())
+            theirs = reference[kind]
+            if mine == theirs:
+                continue
+            findings.append(
+                Diagnostic(
+                    code="RL140",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{kind.upper()} summary divergence: framework client "
+                        f"found {_format_slots(mine)}, reference found "
+                        f"{_format_slots(theirs)}"
+                    ),
+                    pass_name="modref-crosscheck",
+                    procedure=proc,
+                )
+            )
+    return findings

@@ -1,0 +1,380 @@
+"""The generic sparse engine and the client solve entry point.
+
+:class:`ClientEngine` is the analysis-agnostic twin of
+:class:`repro.core.engine.DeltaEngine`: the same seed / delta / flush
+discipline, the same inlined fast paths (hoisted constants, identity
+pass-throughs, support-free floors, already-⊥ targets), the same
+memoization shape — but over any :class:`~repro.framework.lattice.Lattice`
+and any :class:`~repro.framework.edges.EdgeFunction`, with the lattice's
+``top``/``is_bottom``/``meet`` in place of the hard-coded 3-level
+operations. The memo holds a strong reference to each edge function's
+``memo_token()`` so identity-keyed entries can never alias a recycled
+id (the specialized engine gets the same guarantee from the intern
+table's generation counter).
+
+:func:`solve_client` is the generic mirror of
+:func:`repro.core.solver.solve`: region-scheduled by default, legacy
+global schedule under a sanitizer, the same
+:class:`~repro.framework.driver` loops, the same budget hooks, and a
+:class:`ClientSolveResult` whose ``counters()`` keys are identical to
+:class:`repro.core.solver.SolveResult` — benchmark and ``--bench-check``
+tooling reads either without knowing which engine produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import ENGINE_COUNTERS, RegionPartition, _memo_value
+from repro.core.regions import region_schedule
+from repro.framework.client import AnalysisClient
+from repro.framework.worklist import PriorityWorklist
+
+__all__ = ["ClientEngine", "ClientSolveResult", "solve_client"]
+
+_MISSING = object()
+
+assert ENGINE_COUNTERS  # the shared counter contract both engines honor
+
+
+@dataclass(slots=True)
+class ClientSolveResult:
+    """VAL sets plus solver statistics for a framework client solve.
+
+    Field-for-field the counter surface of
+    :class:`repro.core.solver.SolveResult` (``tests/framework`` asserts
+    the ``counters()`` key sets are identical so ``--bench-check``
+    comparisons never silently skip framework runs); ``analysis`` names
+    the client that produced it.
+    """
+
+    analysis: str = ""
+    val: dict[str, dict] = field(default_factory=dict)
+    reached: set[str] = field(default_factory=set)
+    passes: int = 0
+    pops: int = 0
+    evaluations: int = 0
+    meets: int = 0
+    deltas: int = 0
+    skipped: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    bottom_skips: int = 0
+    kernel_compiles: int = 0
+    kernel_hits: int = 0
+    regions: int = 0
+    region_passes: int = 0
+    regions_warm: int = 0
+    waves: int = 0
+    regions_parallel: int = 0
+    slab_slots: int = 0
+    slab_bytes: int = 0
+    batch_drains: int = 0
+
+    def env(self, node: str) -> dict:
+        """VAL(node): the node's entry-key environment."""
+        return self.val.get(node, {})
+
+    def counters(self) -> dict[str, int]:
+        """The solver statistics as a flat mapping — the same keys as
+        :meth:`repro.core.solver.SolveResult.counters`."""
+        return {
+            "passes": self.passes,
+            "pops": self.pops,
+            "evaluations": self.evaluations,
+            "meets": self.meets,
+            "deltas": self.deltas,
+            "skipped": self.skipped,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "bottom_skips": self.bottom_skips,
+            "kernel_compiles": self.kernel_compiles,
+            "kernel_hits": self.kernel_hits,
+            "regions": self.regions,
+            "region_passes": self.region_passes,
+            "regions_warm": self.regions_warm,
+            "waves": self.waves,
+            "regions_parallel": self.regions_parallel,
+            "slab_slots": self.slab_slots,
+            "slab_bytes": self.slab_bytes,
+            "batch_drains": self.batch_drains,
+        }
+
+
+class ClientEngine:
+    """Evaluate-and-meet over a :class:`~repro.framework.client.FlowIndex`.
+
+    One engine serves one solve; it owns the evaluation memo and mutates
+    ``val`` in place, reporting through the stats object's
+    :data:`repro.core.engine.ENGINE_COUNTERS` attributes. ``sanitizer``
+    and ``budget`` are the same duck-typed hooks the specialized engine
+    takes (``observe_transfer``/``observe_update``;
+    ``check_engine(stats)`` once per batch).
+    """
+
+    __slots__ = (
+        "_index",
+        "_lattice",
+        "_val",
+        "_stats",
+        "_memo",
+        "_tokens",
+        "_sanitizer",
+        "_budget",
+        "_partition",
+        "_seeds",
+        "_kills",
+        "_dependents",
+        "_top",
+        "_floor",
+        "_is_bottom",
+        "_meet",
+        "_default",
+    )
+
+    def __init__(
+        self,
+        index,
+        lattice,
+        val: dict[str, dict],
+        stats,
+        sanitizer=None,
+        budget=None,
+        partition: RegionPartition | None = None,
+    ):
+        self._index = index
+        self._lattice = lattice
+        self._val = val
+        self._stats = stats
+        self._memo: dict[tuple, object] = {}
+        self._tokens: list = []  # strong refs: memo ids never recycle
+        self._sanitizer = sanitizer
+        self._budget = budget
+        self._partition = partition
+        self._top = lattice.top
+        self._floor = lattice.bottom
+        self._is_bottom = lattice.is_bottom
+        self._meet = lattice.meet
+        # what a missing source key reads as: the floor when the lattice
+        # has one (constprop parity), else ⊤ (the neutral element).
+        self._default = lattice.bottom if lattice.bottom is not None else lattice.top
+        if partition is None:
+            self._seeds = index.seeds
+            self._kills = index.kills
+            self._dependents = index.dependents
+        else:
+            self._seeds = partition.internal_seeds
+            self._kills = partition.internal_kills
+            self._dependents = partition.internal_dependents
+
+    def callees(self, caller: str) -> tuple[str, ...]:
+        return self._index.callees.get(caller, ())
+
+    def _transfer_edges(self, caller: str, edges, changed: dict) -> None:
+        """The inlined edge transfer shared by seed / delta / flush —
+        structurally the loop body of the specialized engine's three
+        drains, with the lattice operations indirected once per solve
+        (bound locals), not once per edge."""
+        val = self._val
+        caller_env = val[caller]
+        sanitizer = self._sanitizer
+        top = self._top
+        is_bottom = self._is_bottom
+        lattice_meet = self._meet
+        default = self._default
+        evaluations = meets = bottom_skips = 0
+        for edge in edges:
+            callee = edge.callee
+            env = val[callee]
+            key = edge.key
+            old = env[key]
+            if is_bottom(old):
+                bottom_skips += 1  # already at the lattice floor
+                continue
+            incoming = edge.const
+            if incoming is None:
+                passthrough = edge.passthrough
+                if passthrough is not None:
+                    # pass-through: the evaluation *is* the env fetch
+                    evaluations += 1
+                    incoming = caller_env.get(passthrough, default)
+                elif edge.support:
+                    incoming = self._poly_value(edge, caller_env)
+                else:
+                    # support-free and not constant ⇒ the floor, applied
+                    # without evaluation
+                    bottom_skips += 1
+                    incoming = self._floor
+            if sanitizer is not None:
+                sanitizer.observe_transfer(edge.site_id, callee, key, incoming)
+            meets += 1
+            new = incoming if old is top else lattice_meet(old, incoming)
+            if new != old:
+                if sanitizer is not None:
+                    sanitizer.observe_update(callee, key, old, new)
+                env[key] = new
+                keys = changed.get(callee)
+                if keys is None:
+                    keys = changed[callee] = {}
+                keys[key] = None
+        stats = self._stats
+        stats.evaluations += evaluations
+        stats.meets += meets
+        stats.bottom_skips += bottom_skips
+
+    def _apply_kills(self, pairs, changed: dict, only=None) -> None:
+        val = self._val
+        stats = self._stats
+        sanitizer = self._sanitizer
+        floor = self._floor
+        for callee, key in pairs:
+            if only is not None and callee not in only:
+                continue
+            stats.skipped += 1
+            env = val[callee]
+            old = env[key]
+            if self._is_bottom(old):
+                continue
+            stats.meets += 1
+            if sanitizer is not None:
+                sanitizer.observe_update(callee, key, old, floor)
+            env[key] = floor  # meet(old, ⊥) is ⊥ for every old
+            keys = changed.get(callee)
+            if keys is None:
+                keys = changed[callee] = {}
+            keys[key] = None
+
+    def seed(self, caller: str) -> dict[str, dict]:
+        """First visit of ``caller``: transfer every (intra-region) edge
+        once and apply its kills. Returns lowered callee bindings grouped
+        by callee, keys in evaluation order."""
+        changed: dict[str, dict] = {}
+        self._transfer_edges(caller, self._seeds.get(caller, ()), changed)
+        self._apply_kills(self._kills.get(caller, ()), changed)
+        if self._budget is not None:
+            self._budget.check_engine(self._stats)
+        return changed
+
+    def apply_deltas(self, proc: str, keys) -> dict[str, dict]:
+        """Re-transfer only the edges whose support read a lowered key;
+        an edge dependent on several keys of the batch runs once."""
+        changed: dict[str, dict] = {}
+        visited: set[int] = set()
+        batch: list = []
+        dependents = self._dependents
+        stats = self._stats
+        for key in keys:
+            stats.deltas += 1
+            for edge in dependents.get((proc, key), ()):
+                edge_id = id(edge)
+                if edge_id in visited:
+                    continue
+                visited.add(edge_id)
+                batch.append(edge)
+        if batch:
+            self._transfer_edges(proc, batch, changed)
+        if self._budget is not None:
+            self._budget.check_engine(stats)
+        return changed
+
+    def flush_region(self, caller: str, only=None) -> dict[str, dict]:
+        """Transfer ``caller``'s cross-region edges (and kills) exactly
+        once with its final environment. Requires a partition."""
+        partition = self._partition
+        changed: dict[str, dict] = {}
+        edges = partition.external_seeds.get(caller, ())
+        if only is not None:
+            edges = [edge for edge in edges if edge.callee in only]
+        self._transfer_edges(caller, edges, changed)
+        self._apply_kills(
+            partition.external_kills.get(caller, ()), changed, only=only
+        )
+        if self._budget is not None:
+            self._budget.check_engine(self._stats)
+        return changed
+
+    def _poly_value(self, edge, caller_env: dict):
+        """Memoized evaluation of a genuine (environment-reading) edge
+        function, keyed on the function's memo token identity plus the
+        support slice of the source environment."""
+        stats = self._stats
+        support = edge.support
+        default = self._default
+        if len(support) == 1:
+            values = _memo_value(caller_env.get(support[0], default))
+        else:
+            values = tuple(
+                _memo_value(caller_env.get(key, default)) for key in support
+            )
+        token = edge.func.memo_token()
+        memo_key = (id(token), values)
+        incoming = self._memo.get(memo_key, _MISSING)
+        if incoming is _MISSING:
+            stats.memo_misses += 1
+            stats.evaluations += 1
+            incoming = edge.func.apply(caller_env)
+            self._memo[memo_key] = incoming
+            self._tokens.append(token)
+        else:
+            stats.memo_hits += 1
+        return incoming
+
+
+def solve_client(
+    lowered,
+    graph,
+    client: AnalysisClient,
+    *,
+    region_scheduled: bool = True,
+    budget=None,
+    sanitizer=None,
+) -> ClientSolveResult:
+    """Solve ``client``'s dataflow problem to its greatest fixpoint —
+    the generic mirror of :func:`repro.core.solver.solve`.
+
+    Region-scheduled by default over the client's flow graph (SCC
+    condensation, callers-first, cross-region edges deferred to one
+    final-environment flush); ``region_scheduled=False`` or an attached
+    ``sanitizer`` runs the fully iterating global schedule, exactly as
+    the specialized solver does. ``budget`` caps passes and engine fuel
+    through the same :class:`~repro.resilience.budgets.SolveBudget`
+    hooks.
+    """
+    from repro.framework.driver import (
+        drive_global_schedule,
+        drive_region_schedule,
+    )
+
+    if sanitizer is not None:
+        # Sanitizing wants to observe every transfer of an iterating
+        # schedule; region deferral hides cross-region re-evaluations.
+        region_scheduled = False
+    flow_graph = client.flow_graph(lowered, graph)
+    index = client.flow_edges(lowered, graph)
+    result = ClientSolveResult(
+        analysis=client.name, val=client.initial_env(lowered, graph)
+    )
+    roots = client.roots(lowered, graph)
+    worklist = PriorityWorklist(flow_graph.rpo_index())
+    if region_scheduled:
+        schedule = region_schedule(flow_graph)
+        engine = ClientEngine(
+            index,
+            client.lattice,
+            result.val,
+            result,
+            sanitizer,
+            budget,
+            partition=client.partition(lowered, graph, schedule.region_of),
+        )
+        drive_region_schedule(
+            engine, schedule, worklist, result, roots=roots, budget=budget
+        )
+    else:
+        engine = ClientEngine(
+            index, client.lattice, result.val, result, sanitizer, budget
+        )
+        drive_global_schedule(
+            engine, worklist, result, roots=roots, budget=budget
+        )
+    return result

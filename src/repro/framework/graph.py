@@ -1,0 +1,145 @@
+"""Flow graphs: the scheduling skeleton of a framework client.
+
+The region scheduler (:mod:`repro.core.regions`) and the priority
+worklist only need four things from a graph: ``nodes``, ``callees()``
+(flow successors), ``rpo_index()``, and ``sccs()``. The program's
+:class:`~repro.callgraph.graph.CallGraph` provides them directly, and
+forward clients (constprop, copyprop) simply schedule over it. Clients
+whose facts flow *against* call edges — MOD/REF summaries rise from
+callees to callers — instead build a :class:`FlowGraph` with the edges
+they actually propagate along; :func:`reverse_flow_graph` derives the
+call graph's mirror image once per graph instance.
+
+A :class:`FlowGraph` supports multiple roots (the MOD/REF client seeds
+every procedure), generalizing the call graph's single-``main`` DFS:
+reverse postorder runs from each root in order, and nodes no root
+reaches follow in name order so the priority index stays total. The
+``_region_schedule`` cache attribute matches the call graph's, so
+:func:`repro.core.regions.region_schedule` memoizes on either kind.
+"""
+
+from __future__ import annotations
+
+
+class FlowGraph:
+    """A directed flow graph over procedure names, duck-typed to the
+    scheduling surface of :class:`repro.callgraph.graph.CallGraph`."""
+
+    def __init__(
+        self,
+        nodes: list[str],
+        successors: dict[str, tuple[str, ...]],
+        roots: tuple[str, ...],
+    ):
+        self.nodes = list(nodes)
+        self._successors = successors
+        self.roots = roots
+        self._rpo_index: dict[str, int] | None = None
+
+    def callees(self, name: str) -> tuple[str, ...]:
+        """Flow successors (named for CallGraph compatibility)."""
+        return self._successors.get(name, ())
+
+    def reverse_postorder(self) -> list[str]:
+        postorder: list[str] = []
+        seen: set[str] = set()
+        for root in self.roots:
+            if root in seen:
+                continue
+            seen.add(root)
+            stack: list[tuple[str, object]] = [(root, iter(self.callees(root)))]
+            while stack:
+                node, children = stack[-1]
+                for child in children:  # type: ignore[union-attr]
+                    if child not in seen:
+                        seen.add(child)
+                        stack.append((child, iter(self.callees(child))))
+                        break
+                else:
+                    postorder.append(node)
+                    stack.pop()
+        order = list(reversed(postorder))
+        order.extend(name for name in self.nodes if name not in seen)
+        return order
+
+    def rpo_index(self) -> dict[str, int]:
+        if self._rpo_index is None:
+            self._rpo_index = {
+                name: index
+                for index, name in enumerate(self.reverse_postorder())
+            }
+        return self._rpo_index
+
+    def sccs(self) -> list[list[str]]:
+        """Strongly connected components (iterative Tarjan, the same
+        traversal as :meth:`repro.callgraph.graph.CallGraph.sccs`)."""
+        index_counter = [0]
+        stack: list[str] = []
+        lowlink: dict[str, int] = {}
+        index: dict[str, int] = {}
+        on_stack: set[str] = set()
+        result: list[list[str]] = []
+
+        def strongconnect(node: str) -> None:
+            work = [(node, iter(self.callees(node)))]
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while work:
+                current, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = lowlink[child] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(self.callees(child))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[current] = min(lowlink[current], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == index[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    result.append(sorted(component))
+
+        for node in self.nodes:
+            if node not in index:
+                strongconnect(node)
+        return result
+
+
+def reverse_flow_graph(graph) -> FlowGraph:
+    """The call graph's mirror image: one flow edge callee → caller per
+    calling pair, every procedure a root (summaries exist even for
+    procedures the main program never reaches). Cached per graph
+    instance, like the region schedule derived from it."""
+    cached = getattr(graph, "_reverse_flow_graph", None)
+    if cached is not None:
+        return cached
+    successors = {
+        name: tuple(graph.callers(name)) for name in graph.nodes
+    }
+    reversed_graph = FlowGraph(
+        nodes=list(graph.nodes),
+        successors=successors,
+        roots=tuple(sorted(graph.nodes)),
+    )
+    try:
+        graph._reverse_flow_graph = reversed_graph
+    except AttributeError:
+        pass  # slotted stand-ins rebuild per solve
+    return reversed_graph

@@ -1,0 +1,33 @@
+"""Shared pipeline helpers for the framework test package."""
+
+from repro.analysis.ssa import ensure_global_symbols
+from repro.callgraph import build_call_graph, compute_modref
+from repro.core.builder import build_forward_jump_functions
+from repro.core.config import AnalysisConfig
+from repro.core.returns import build_return_jump_functions
+from repro.frontend import parse_program
+from repro.ir import lower_program
+
+
+def prepare(source, config=None):
+    """Run the stage-0..2 pipeline, returning everything a client needs:
+    ``(lowered, graph, modref, forward)``."""
+    config = config or AnalysisConfig()
+    program = parse_program(source)
+    lowered = lower_program(program)
+    ensure_global_symbols(lowered)
+    graph = build_call_graph(lowered)
+    modref = compute_modref(lowered, graph)
+    returns = build_return_jump_functions(lowered, graph, modref, config)
+    forward = build_forward_jump_functions(lowered, modref, returns, config)
+    return lowered, graph, modref, forward
+
+
+def tagged(val):
+    """VAL with every value tagged by its class: ``1`` and ``True`` meet
+    to the same ``==`` but are different lattice elements, so byte-level
+    identity means class-level identity too."""
+    return {
+        proc: {key: (value.__class__, value) for key, value in env.items()}
+        for proc, env in val.items()
+    }

@@ -1,0 +1,219 @@
+"""The MOD/REF dataflow client against the reference implementation.
+
+:func:`~repro.framework.clients.modref.cross_check_modref` must come
+back empty (the two implementations agree) on the workload suite and on
+every edge case the PR 3 reference tests pin: direct and mutual
+recursion, one global MOD'd and REF'd through different call chains,
+zero-formal procedures, value arguments breaking the binding, and
+transitive effects through nested bindings. A seeded divergence must
+surface as RL140 diagnostics, never a crash.
+"""
+
+import pytest
+
+from repro.diagnostics.core import Severity
+from repro.framework import solve_client
+from repro.framework.clients import ModRefClient, cross_check_modref
+from repro.framework.clients.modref import SUMMARY_KEYS, summary_sets
+from repro.workloads import load_suite
+
+from tests.framework.helpers import prepare
+
+SUITE = load_suite(scale=0.25)
+
+DIRECT_RECURSION = """
+program main
+  integer n
+  n = 5
+  call f(n)
+end
+subroutine f(a)
+  integer a
+  if (a > 0) then
+    a = a - 1
+    call f(a)
+  endif
+end
+"""
+
+MUTUAL_RECURSION = """
+program main
+  integer n
+  n = 3
+  call f(n)
+end
+subroutine f(a)
+  integer a
+  call g(a)
+end
+subroutine g(b)
+  integer b
+  if (b > 0) then
+    call f(b)
+  endif
+  b = 0
+end
+"""
+
+TWO_CHAINS = """
+program main
+  common /c/ g
+  integer g
+  call chainw
+  call chainr
+end
+subroutine chainw
+  call leafw
+end
+subroutine leafw
+  common /c/ w
+  integer w
+  w = 7
+end
+subroutine chainr
+  call leafr
+end
+subroutine leafr
+  common /c/ r
+  integer r
+  write r
+end
+"""
+
+ZERO_FORMALS = """
+program main
+  common /c/ g
+  integer g
+  call setup
+  write g
+end
+subroutine setup
+  common /c/ x
+  integer x
+  x = 42
+end
+"""
+
+VALUE_ARG_BREAKS_CHAIN = """
+program main
+  integer n
+  call outer(n)
+end
+subroutine outer(p)
+  integer p
+  call inner(p + 0)
+end
+subroutine inner(q)
+  integer q
+  q = 9
+end
+"""
+
+TRANSITIVE_NEST = """
+program main
+  integer n
+  call outer(n)
+end
+subroutine outer(p)
+  integer p
+  call inner(p)
+end
+subroutine inner(q)
+  integer q
+  q = 9
+end
+"""
+
+RECURSIVE_TWO_FORMALS = """
+program main
+  integer n
+  call rec(n, 3)
+end
+subroutine rec(a, d)
+  integer a, d
+  if (d > 0) then
+    call rec(a, d - 1)
+  else
+    a = 0
+  endif
+end
+"""
+
+EDGE_CASES = {
+    "direct_recursion": DIRECT_RECURSION,
+    "mutual_recursion": MUTUAL_RECURSION,
+    "two_chains": TWO_CHAINS,
+    "zero_formals": ZERO_FORMALS,
+    "value_arg_breaks_chain": VALUE_ARG_BREAKS_CHAIN,
+    "transitive_nest": TRANSITIVE_NEST,
+    "recursive_two_formals": RECURSIVE_TWO_FORMALS,
+}
+
+
+def check(source):
+    lowered, graph, modref, _ = prepare(source)
+    result = solve_client(lowered, graph, ModRefClient())
+    findings = cross_check_modref(lowered, graph, result, info=modref)
+    return lowered, modref, result, findings
+
+
+@pytest.mark.parametrize("name", sorted(EDGE_CASES))
+def test_edge_cases_agree_with_reference(name):
+    _, _, _, findings = check(EDGE_CASES[name])
+    assert findings == []
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_suite_agrees_with_reference(name):
+    _, _, _, findings = check(SUITE[name].source)
+    assert findings == []
+
+
+def test_every_procedure_has_summaries():
+    """Summaries exist even for procedures main never reaches — every
+    procedure is a root of the reverse flow graph."""
+    lowered, _, result, _ = check(TWO_CHAINS)
+    for proc in lowered.procedures:
+        env = result.val[proc]
+        for kind in SUMMARY_KEYS:
+            assert kind in env
+
+
+def test_mutual_recursion_summary_contents():
+    """Same facts the reference tests assert, read off the client: g
+    writes its formal directly, f only through the f→g→f cycle."""
+    lowered, modref, result, _ = check(MUTUAL_RECURSION)
+    assert ("formal", "a") in result.val["f"]["mod"]
+    assert ("formal", "b") in result.val["g"]["mod"]
+    assert ("formal", "a") in result.val["f"]["ref"]
+    assert summary_sets(modref, "f")["mod"] == result.val["f"]["mod"]
+
+
+def test_value_argument_breaks_binding():
+    _, _, result, _ = check(VALUE_ARG_BREAKS_CHAIN)
+    assert ("formal", "q") in result.val["inner"]["mod"]
+    assert ("formal", "p") not in result.val["outer"]["mod"]
+
+
+def test_divergence_reports_rl140_not_crash():
+    """Tamper with the solved summaries: the cross-check must return
+    ERROR diagnostics describing both sides, not raise."""
+    lowered, graph, _, _ = prepare(ZERO_FORMALS)
+    result = solve_client(lowered, graph, ModRefClient())
+    tampered = dict(result.val)
+    tampered["setup"] = dict(tampered["setup"])
+    tampered["setup"]["mod"] = frozenset([("formal", "phantom")])
+    result.val = tampered
+
+    findings = cross_check_modref(lowered, graph, result)
+    assert findings, "tampered summaries must be reported"
+    assert all(f.code == "RL140" for f in findings)
+    assert all(f.severity is Severity.ERROR for f in findings)
+    assert any(f.procedure == "setup" for f in findings)
+    assert any("phantom" in f.message for f in findings)
+
+
+def test_cross_check_solves_lazily():
+    """Both the solved result and the reference info are optional."""
+    lowered, graph, _, _ = prepare(DIRECT_RECURSION)
+    assert cross_check_modref(lowered, graph) == []

@@ -1,0 +1,118 @@
+"""The serving tiers' speedup: warm answers versus cold solves.
+
+One in-process :class:`AnalysisService` takes the same corpus of
+programs three ways — a cold first submission (full pipeline), a cache
+repeat (memory LRU hit), and a store repeat from a freshly restarted
+daemon (disk tier) — and the warm tiers must answer at least 5x faster
+than the cold solves. That is the daemon's reason to exist: dedup'd and
+repeated work must cost response-lookup time, not pipeline time.
+
+Under ``--bench-check`` the recorded work counters gate as usual:
+``evaluations`` (the cold solves' jump-function work) at the 10%
+tolerance, and ``degradations``/``failures`` at zero — a healthy
+service serving a healthy corpus neither degrades nor fails.
+"""
+
+import time
+
+from repro.service import AnalysisService
+from repro.store.artifacts import ArtifactStore
+
+from repro.workloads import load
+
+PROGRAMS = ("trfd", "mdg", "adm")
+SPEEDUP_FLOOR = 5
+
+
+def run_tiers(store_path: str):
+    sources = {name: load(name).source for name in PROGRAMS}
+    totals = {
+        "evaluations": 0,
+        "degradations": 0,
+        "failures": 0,
+        "cold_ms": 0.0,
+        "cache_ms": 0.0,
+        "store_ms": 0.0,
+    }
+    rows = []
+
+    store = ArtifactStore(store_path)
+    service = AnalysisService(store=store)
+    cold_responses = {}
+    for name, source in sources.items():
+        start = time.perf_counter()
+        response = service.handle(
+            {"id": f"cold-{name}", "source": source, "stats": True}
+        )
+        cold_ms = (time.perf_counter() - start) * 1000.0
+        assert response["status"] == "ok", response
+        assert response["served"] == "cold"
+        totals["cold_ms"] += cold_ms
+        totals["degradations"] += len(response["degradations"])
+        totals["evaluations"] += response["stats"]["solver_counters"].get(
+            "evaluations", 0
+        )
+        cold_responses[name] = (response, cold_ms)
+
+    for name, source in sources.items():
+        start = time.perf_counter()
+        repeat = service.handle({"id": f"warm-{name}", "source": source})
+        cache_ms = (time.perf_counter() - start) * 1000.0
+        assert repeat["served"] == "cache"
+        assert repeat["result"] == cold_responses[name][0]["result"]
+        totals["cache_ms"] += cache_ms
+
+        # a restarted daemon on the same store: the disk tier answers
+        reborn = AnalysisService(store=ArtifactStore(store_path))
+        start = time.perf_counter()
+        disk = reborn.handle({"id": f"store-{name}", "source": source})
+        store_ms = (time.perf_counter() - start) * 1000.0
+        assert disk["served"] == "store"
+        assert disk["result"] == cold_responses[name][0]["result"]
+        totals["store_ms"] += store_ms
+
+        rows.append(
+            f"{name:<10} cold {cold_responses[name][1]:>8.2f} ms  "
+            f"cache {cache_ms:>7.3f} ms  store {store_ms:>7.3f} ms"
+        )
+
+    failed = service.stats()["served"]["errors"]
+    totals["failures"] += failed
+    return totals, rows
+
+
+def test_warm_tiers_beat_cold_solves(
+    benchmark, reporter, bench_counters, tmp_path
+):
+    totals, rows = benchmark.pedantic(
+        run_tiers, args=(str(tmp_path / "store"),), rounds=1, iterations=1
+    )
+    cache_speedup = totals["cold_ms"] / max(totals["cache_ms"], 1e-9)
+    store_speedup = totals["cold_ms"] / max(totals["store_ms"], 1e-9)
+    bench_counters.update(
+        {
+            "evaluations": totals["evaluations"],
+            "degradations": totals["degradations"],
+            "failures": totals["failures"],
+        }
+    )
+    reporter(
+        "Service tiers: cold solve vs cache vs store (per program)",
+        "\n".join(
+            rows
+            + [
+                "",
+                f"total cold {totals['cold_ms']:.2f} ms, "
+                f"cache {totals['cache_ms']:.3f} ms "
+                f"({cache_speedup:.0f}x), "
+                f"store {totals['store_ms']:.3f} ms "
+                f"({store_speedup:.0f}x); floor {SPEEDUP_FLOOR}x",
+            ]
+        ),
+    )
+    # the ISSUE acceptance gate: warm dedup'd answers >=5x faster than
+    # cold, on both the memory and the disk tier, with zero failures
+    assert totals["cache_ms"] * SPEEDUP_FLOOR <= totals["cold_ms"]
+    assert totals["store_ms"] * SPEEDUP_FLOOR <= totals["cold_ms"]
+    assert totals["degradations"] == 0
+    assert totals["failures"] == 0

@@ -8,6 +8,7 @@ lint      run the diagnostics passes; text, JSON, or SARIF output
 tables    regenerate the paper's tables and Figure 1
 workload  print (or save) one generated suite program
 clone     one goal-directed cloning round over a file
+serve     run the analysis daemon (stdio-JSONL or HTTP/JSON)
 """
 
 from __future__ import annotations
@@ -188,6 +189,50 @@ def _build_parser() -> argparse.ArgumentParser:
     clone_cmd.add_argument("--max-clones", type=int, default=3)
     clone_cmd.add_argument("--transform", action="store_true",
                            help="print the cloned source")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the analysis-as-a-service daemon"
+    )
+    serve_cmd.add_argument("--http", type=int, default=None, metavar="PORT",
+                           help="serve HTTP/JSON on PORT (default: "
+                                "stdio-JSONL on stdin/stdout)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address for --http "
+                                "(default: 127.0.0.1)")
+    serve_cmd.add_argument("--store", default=None, metavar="DIR",
+                           help="persistent artifact store: responses and "
+                                "snapshots survive restarts, repeats answer "
+                                "warm")
+    serve_cmd.add_argument("--journal", default=None, metavar="PATH",
+                           help="crash-safe request journal; on restart "
+                                "in-flight requests are replayed (or "
+                                "refused with --no-replay)")
+    serve_cmd.add_argument("--no-replay", action="store_true",
+                           help="refuse journaled in-flight requests on "
+                                "restart (RL556) instead of replaying them")
+    serve_cmd.add_argument("--workers", type=int, default=2,
+                           help="concurrent solver slots (default: 2)")
+    serve_cmd.add_argument("--queue-limit", type=int, default=8,
+                           help="max requests waiting for a slot before "
+                                "RL550 rejections (default: 8)")
+    serve_cmd.add_argument("--tenant-rate", type=float, default=5.0,
+                           help="per-tenant token refill rate, requests/s "
+                                "(default: 5)")
+    serve_cmd.add_argument("--tenant-burst", type=int, default=20,
+                           help="per-tenant burst capacity (default: 20)")
+    serve_cmd.add_argument("--request-timeout", type=float, default=30.0,
+                           help="default per-request deadline in seconds; "
+                                "expiry cancels the solve cooperatively "
+                                "(RL554)")
+    serve_cmd.add_argument("--breaker-threshold", type=int, default=3,
+                           help="solver failures per breaker rung "
+                                "(default: 3)")
+    serve_cmd.add_argument("--breaker-cooldown", type=float, default=5.0,
+                           help="seconds an open breaker waits before its "
+                                "half-open probe (default: 5)")
+    serve_cmd.add_argument("--chaos", default=None, metavar="JSON",
+                           help="arm a deterministic chaos spec (the "
+                                "spec_to_json wire format) — test use only")
     return parser
 
 
@@ -566,6 +611,46 @@ def _cmd_clone(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import RequestJournal
+    from repro.service.server import AnalysisService, ServicePolicy, serve_http
+    from repro.service.server import serve_stdio
+
+    if args.chaos:
+        import json as _json
+
+        from repro.resilience import chaos
+
+        chaos.install(
+            chaos.spec_from_json(_json.loads(args.chaos)),
+            label="service",
+            in_worker=True,  # a `kill` fault dies like a real kill -9
+        )
+    store = None
+    if args.store:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(args.store)
+    journal = RequestJournal(args.journal) if args.journal else None
+    policy = ServicePolicy(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        request_timeout=args.request_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        replay=not args.no_replay,
+    )
+    service = AnalysisService(policy, store=store, journal=journal)
+    for event in service.recovered:
+        print(f"serve: recovered journaled request {event['id']}: "
+              f"{event['status']}", file=sys.stderr)
+    if args.http is not None:
+        return serve_http(service, args.host, args.http)
+    return serve_stdio(service)
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "run": _cmd_run,
@@ -573,6 +658,7 @@ _COMMANDS = {
     "tables": _cmd_tables,
     "workload": _cmd_workload,
     "clone": _cmd_clone,
+    "serve": _cmd_serve,
 }
 
 

@@ -56,6 +56,11 @@ from repro.core.substitute import (
 from repro.frontend.symbols import Program, parse_program
 from repro.ir.lower import LoweredProgram, lower_program
 from repro.resilience.budgets import SolveBudget
+from repro.resilience.cancel import (
+    CancelledError,
+    cancel_point,
+    cancellable_budget,
+)
 from repro.resilience.chaos import chaos_point, maybe_corrupt_stage0
 from repro.resilience.errors import (
     CODE_DEGRADED_DENSE,
@@ -420,7 +425,9 @@ def _attempt_solve(
             lowered, graph, forward, budget=budget, warm=warm,
             compiled=compiled, flat=config.flat_engine,
         )
-    except BudgetExhaustedError:
+    except (BudgetExhaustedError, CancelledError):
+        # budget exhaustion feeds the ladder; cancellation aborts the
+        # request — neither may be "recovered" by the dense fallback
         raise
     except Exception as exc:
         if not config.solver_fallback:
@@ -524,7 +531,9 @@ def _config_stages(
         # procedure boundaries in either direction.
         effective = replace(config, use_return_jump_functions=False)
 
-    budget = SolveBudget.from_config(config)
+    # A service request's cancel token rides on the budget hooks the
+    # worklist loops already poll; outside the daemon this is a no-op.
+    budget = cancellable_budget(SolveBudget.from_config(config))
     cfg_key = _store_config_key(effective) if store is not None else ""
     store_report: IncrementalReport | None = None
     kind = effective.jump_function
@@ -534,6 +543,7 @@ def _config_stages(
             if kind is effective.jump_function
             else replace(effective, jump_function=kind)
         )
+        cancel_point()
         chaos_point(Stage.SSA)
         start = time.perf_counter()
         returns = build_return_jump_functions(
@@ -543,6 +553,7 @@ def _config_stages(
             timings.get("returns", 0.0) + time.perf_counter() - start
         )
 
+        cancel_point()
         chaos_point(Stage.JUMP_FUNCTIONS)
         start = time.perf_counter()
         forward = build_forward_jump_functions(
@@ -669,6 +680,7 @@ def analyze(
     program between rounds, so there is no stable identity to key on.
     """
     config = config or AnalysisConfig()
+    cancel_point()
     program = parse_program(source) if isinstance(source, str) else source
     chaos_point(Stage.FRONTEND)
     timings: dict[str, float] = {}
@@ -717,6 +729,7 @@ def analyze(
             incremental=incremental,
         )
 
+    cancel_point()
     chaos_point(Stage.SUBSTITUTE)
     start = time.perf_counter()
     substitutions = compute_substitutions(artifacts.forward, artifacts.solved)

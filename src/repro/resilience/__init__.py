@@ -15,6 +15,14 @@ budget modules here, so eagerly importing them would cycle.
 import importlib
 
 from repro.resilience.budgets import SolveBudget
+from repro.resilience.cancel import (
+    CancelledError,
+    CancelToken,
+    cancel_point,
+    cancellable_budget,
+    install_token,
+    uninstall_token,
+)
 from repro.resilience.chaos import ChaosError, ChaosSpec, ChaosWorkerLoss, Fault
 from repro.resilience.errors import (
     BudgetExhaustedError,
@@ -22,6 +30,7 @@ from repro.resilience.errors import (
     FailureKind,
     FailureRecord,
     ResilienceError,
+    ServiceError,
     Stage,
     classify_exception,
     format_cli_error,
@@ -38,6 +47,8 @@ _LAZY = {
 
 __all__ = [
     "BudgetExhaustedError",
+    "CancelToken",
+    "CancelledError",
     "ChaosError",
     "ChaosSpec",
     "ChaosWorkerLoss",
@@ -46,8 +57,13 @@ __all__ = [
     "FailureRecord",
     "Fault",
     "ResilienceError",
+    "ServiceError",
     "SolveBudget",
     "Stage",
+    "cancel_point",
+    "cancellable_budget",
+    "install_token",
+    "uninstall_token",
     "SweepJournal",
     "SweepOutcome",
     "SweepPolicy",

@@ -87,6 +87,50 @@ class ChaosSpec:
     faults: tuple[Fault, ...] = ()
 
 
+def spec_to_json(spec: ChaosSpec) -> dict:
+    """A JSON-able rendering of ``spec`` — the wire format ``repro serve
+    --chaos`` accepts, so a test can arm the daemon *subprocess* with the
+    same deterministic faults an in-process test would install."""
+    return {
+        "seed": spec.seed,
+        "faults": [
+            {
+                "stage": fault.stage.value,
+                "kind": fault.kind,
+                "program": fault.program,
+                "scope": fault.scope,
+                "probability": fault.probability,
+                "max_firings": fault.max_firings,
+                "max_attempt": fault.max_attempt,
+                "sleep_seconds": fault.sleep_seconds,
+            }
+            for fault in spec.faults
+        ],
+    }
+
+
+def spec_from_json(payload: dict) -> ChaosSpec:
+    """Inverse of :func:`spec_to_json` (unknown keys rejected loudly)."""
+    faults = []
+    for entry in payload.get("faults", ()):
+        entry = dict(entry)
+        faults.append(
+            Fault(
+                stage=Stage(entry.pop("stage")),
+                kind=entry.pop("kind"),
+                program=entry.pop("program", None),
+                scope=entry.pop("scope", None),
+                probability=entry.pop("probability", 1.0),
+                max_firings=entry.pop("max_firings", None),
+                max_attempt=entry.pop("max_attempt", None),
+                sleep_seconds=entry.pop("sleep_seconds", 0.0),
+            )
+        )
+        if entry:
+            raise ValueError(f"unknown chaos fault keys: {sorted(entry)}")
+    return ChaosSpec(seed=int(payload.get("seed", 0)), faults=tuple(faults))
+
+
 @dataclass
 class _Injector:
     spec: ChaosSpec

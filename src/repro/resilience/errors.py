@@ -38,6 +38,10 @@ class Stage(enum.Enum):
     JUMP_FUNCTIONS = "jump-functions"
     SOLVE = "solve"
     SUBSTITUTE = "substitute"
+    #: the serving layer around the pipeline (admission, dedup, journal,
+    #: breaker) — chaos faults aimed here kill the daemon between
+    #: pipeline stages rather than inside one.
+    SERVICE = "service"
 
     def __str__(self) -> str:
         return self.value
@@ -93,6 +97,33 @@ CODE_PARALLEL_FALLBACK = describe_code(
     "RL540", "parallel region solve failed: fell back to the sequential "
     "schedule"
 )
+# -- the analysis service's admission / degradation family (RL55x) -----------
+CODE_SERVICE_QUEUE_FULL = describe_code(
+    "RL550", "service admission queue full: request rejected"
+)
+CODE_SERVICE_RATE_LIMITED = describe_code(
+    "RL551", "tenant token bucket empty: request rejected"
+)
+CODE_SERVICE_DRAINING = describe_code(
+    "RL552", "service draining for shutdown: new requests refused"
+)
+CODE_SERVICE_BREAKER_OPEN = describe_code(
+    "RL553", "circuit breaker open: solver unavailable, request refused"
+)
+CODE_SERVICE_DEADLINE = describe_code(
+    "RL554", "request deadline exceeded: solve cancelled cooperatively"
+)
+CODE_SERVICE_BAD_REQUEST = describe_code(
+    "RL555", "malformed service request rejected"
+)
+CODE_SERVICE_INTERRUPTED = describe_code(
+    "RL556", "request was in flight when the daemon died; refused on "
+    "restart per journal policy"
+)
+CODE_SERVICE_BREAKER_DEGRADED = describe_code(
+    "RL557", "circuit breaker tripped: request rerouted through the "
+    "degradation ladder"
+)
 
 _FAILURE_CODES = {
     FailureKind.CRASH: CODE_FAILURE_CRASH,
@@ -131,6 +162,25 @@ class BudgetExhaustedError(ResilienceError):
             f"solver budget exhausted: {counter} reached {observed} "
             f"(limit {limit})"
         )
+
+
+class ServiceError(ResilienceError):
+    """A typed refusal from the serving layer's admission spine.
+
+    ``code`` is the RL55x diagnostic code, ``kind`` the machine-readable
+    discriminator a client switches on (``queue-full`` / ``rate-limited``
+    / ``draining`` / ``breaker-open`` / ``deadline`` / ``bad-request`` /
+    ``interrupted``). Rendered by :func:`format_cli_error` as
+    ``error[service]: RL55x: message`` — the exact line a daemon error
+    response carries.
+    """
+
+    stage = Stage.SERVICE
+
+    def __init__(self, code: str, kind: str, message: str):
+        self.code = code
+        self.kind = kind
+        super().__init__(message)
 
 
 # -- classification -----------------------------------------------------------
@@ -180,18 +230,31 @@ def classify_exception(exc: BaseException) -> Stage | None:
     return None
 
 
-def format_cli_error(exc: BaseException) -> str:
+def format_cli_error(exc) -> str:
     """One-line typed rendering for the CLI: ``error[stage]: loc: message``.
 
     Front-end errors keep their ``line:col`` span; everything else shows
     the classified stage and the exception text. ``--traceback`` restores
     the raw traceback for debugging.
+
+    Also accepts a :class:`FailureRecord` — including one rebuilt by
+    :meth:`FailureRecord.from_json`, which has no traceback to classify —
+    rendering ``error[stage]: kind: message`` with the record's own
+    ``kind`` intact, so a daemon replaying a journaled failure prints the
+    same line the CLI printed when it happened live. Service refusals
+    (:class:`ServiceError`) render their RL55x code in place of the
+    exception type.
     """
+    if isinstance(exc, FailureRecord):
+        label = exc.stage.value if exc.stage is not None else "internal"
+        return f"error[{label}]: {exc.kind.value}: {exc.message}"
     stage = classify_exception(exc)
     label = stage.value if stage is not None else "internal"
     if isinstance(exc, FrontendError):
         location = f"{exc.location}: " if exc.location is not None else ""
         return f"error[{label}]: {location}{exc.message}"
+    if isinstance(exc, ServiceError):
+        return f"error[{label}]: {exc.code}: {exc}"
     message = str(exc) or type(exc).__name__
     return f"error[{label}]: {type(exc).__name__}: {message}"
 

@@ -1,0 +1,54 @@
+"""The analysis-as-a-service layer: ``repro serve``.
+
+A long-running daemon (stdio-JSONL and/or HTTP/JSON, stdlib only) in
+front of the analyzer. Clients submit whole programs — or resubmit an
+edited one with ``"incremental": true``, which the fingerprint diff
+turns into a single-procedure re-solve — and get back VALs, stats, and
+diagnostics. The robustness spine (DESIGN.md §12):
+
+- **admission control** — a bounded queue plus per-tenant token buckets
+  (:mod:`repro.service.admission`): overload earns a typed ``RL55x``
+  rejection, never an unbounded queue;
+- **request dedup** — identical in-flight submissions coalesce onto one
+  solve, repeats answer from the response cache and the content-addressed
+  :class:`~repro.store.artifacts.ArtifactStore`
+  (:mod:`repro.service.dedup`);
+- **a circuit breaker** — repeated solver failures reroute traffic down
+  the degradation ladder (degrade → cold → intraprocedural floor), each
+  step surfaced in the response, before refusing outright
+  (:mod:`repro.service.breaker`);
+- **cooperative cancellation** — per-request deadlines enforced via
+  :mod:`repro.resilience.cancel` hooks in the driver;
+- **a crash-safe request journal** — fsync'd JSONL
+  (:mod:`repro.service.journal`) so a killed daemon deterministically
+  replays or refuses in-flight work on restart;
+- **graceful drain** — SIGTERM stops admission (``RL552``), finishes
+  in-flight work, and exits; ``/healthz`` and ``/readyz`` report it.
+
+The hard invariant: under overload the service may *degrade* (coarser
+jump functions, cold instead of warm) but never returns a stale or
+unsound VAL — cache entries are keyed by the exact (analysis, config,
+source) fingerprint, degraded results are served marked but never
+cached, and every degradation rides in the response.
+"""
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.breaker import CircuitBreaker, ServiceMode
+from repro.service.dedup import request_fingerprint
+from repro.service.journal import RequestJournal
+from repro.service.protocol import ProtocolError, ServiceRequest, parse_request
+from repro.service.server import AnalysisService, ServicePolicy
+
+__all__ = [
+    "AdmissionController",
+    "AnalysisService",
+    "CircuitBreaker",
+    "ProtocolError",
+    "RequestJournal",
+    "ServiceMode",
+    "ServicePolicy",
+    "ServiceRequest",
+    "TokenBucket",
+    "parse_request",
+    "request_fingerprint",
+]

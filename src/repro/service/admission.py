@@ -1,0 +1,140 @@
+"""Admission control: bounded queue + per-tenant token buckets.
+
+The daemon never queues unboundedly. A submission that passes the dedup
+layer must win two gates before it may wait for a solver slot:
+
+- its tenant's :class:`TokenBucket` must hold a token (``RL551``
+  otherwise) — burst capacity plus a steady refill rate, so one noisy
+  tenant exhausts its own budget instead of the service;
+- the waiting-room counter must be under ``queue_limit`` (``RL550``
+  otherwise) — rejected instantly, so overload costs the client a
+  round-trip, not the daemon its memory.
+
+Both gates are O(1) under one lock; the clock is injectable so tests
+drive refill deterministically. Draining (SIGTERM received) refuses
+everything with ``RL552`` before either gate is consulted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.resilience.errors import (
+    CODE_SERVICE_DRAINING,
+    CODE_SERVICE_QUEUE_FULL,
+    CODE_SERVICE_RATE_LIMITED,
+    ServiceError,
+)
+
+
+class TokenBucket:
+    """One tenant's budget: ``burst`` tokens, refilled at ``rate``/s.
+
+    ``rate=0`` makes the burst a hard lifetime cap (useful in tests and
+    for revoked tenants). Fractional refill accumulates, so low rates
+    still make steady progress.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_stamp", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._stamp = clock()
+
+    def try_take(self) -> bool:
+        now = self._clock()
+        if self.rate > 0.0:
+            self.tokens = min(
+                float(self.burst), self.tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """The bounded waiting room in front of the solver slots."""
+
+    def __init__(
+        self,
+        queue_limit: int,
+        tenant_rate: float,
+        tenant_burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.queue_limit = int(queue_limit)
+        self.tenant_rate = float(tenant_rate)
+        self.tenant_burst = int(tenant_burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._buckets: dict[str, TokenBucket] = {}
+        self.rejections: dict[str, int] = {
+            "queue-full": 0, "rate-limited": 0, "draining": 0,
+        }
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    def admit(self, tenant: str, draining: bool = False) -> None:
+        """Claim a waiting-room slot or raise a typed RL55x rejection.
+        Every successful ``admit`` must be paired with one :meth:`leave`
+        (use ``try/finally`` around the whole wait-and-solve)."""
+        with self._lock:
+            if draining:
+                self.rejections["draining"] += 1
+                raise ServiceError(
+                    CODE_SERVICE_DRAINING,
+                    "draining",
+                    "service is draining for shutdown; retry elsewhere",
+                )
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.tenant_rate, self.tenant_burst, self._clock
+                )
+                self._buckets[tenant] = bucket
+            if not bucket.try_take():
+                self.rejections["rate-limited"] += 1
+                raise ServiceError(
+                    CODE_SERVICE_RATE_LIMITED,
+                    "rate-limited",
+                    f"tenant {tenant!r} exhausted its request budget "
+                    f"(burst {self.tenant_burst}, rate {self.tenant_rate}/s)",
+                )
+            if self._waiting >= self.queue_limit:
+                self.rejections["queue-full"] += 1
+                raise ServiceError(
+                    CODE_SERVICE_QUEUE_FULL,
+                    "queue-full",
+                    f"admission queue full ({self.queue_limit} waiting)",
+                )
+            self._waiting += 1
+
+    def leave(self) -> None:
+        with self._lock:
+            self._waiting -= 1
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "waiting": self._waiting,
+                "tenants": len(self._buckets),
+                **{
+                    f"rejected_{kind}": count
+                    for kind, count in self.rejections.items()
+                },
+            }

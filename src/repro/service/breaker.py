@@ -1,0 +1,134 @@
+"""The circuit breaker: repeated failures reroute, then refuse.
+
+Classic breakers flip between CLOSED and OPEN; this one inserts the PR 4
+degradation ladder between them, because the analyzer has sound cheaper
+modes to retreat through before giving up. Consecutive failures
+accumulate ``strikes``; every ``threshold`` strikes the service drops
+one rung:
+
+====================  ==========================================
+level (strikes//t)    what requests run as
+====================  ==========================================
+0  NORMAL             the request's own configuration
+1  DEGRADE            budgets forced on → ladder (RL510) may fire
+2  COLD               as DEGRADE, plus no warm start from the store
+3  FLOOR              intraprocedural baseline — trivially cheap, sound
+>=4  (open)           refused with RL553 until ``cooldown`` elapses
+====================  ==========================================
+
+Every rerouted request carries an RL557 note in its response — the
+ladder is never silent. While open, requests are refused until
+``cooldown`` seconds after the last failure; then the breaker half-opens
+and probes at the FLOOR rung. A success pays back one full level
+(``threshold`` strikes), so recovery retraces the ladder upward instead
+of snapping shut and re-tripping. The clock is injectable; every
+transition is deterministic given the failure/success sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections.abc import Callable
+
+from repro.resilience.errors import CODE_SERVICE_BREAKER_OPEN, ServiceError
+
+
+class ServiceMode(enum.Enum):
+    """How far down the serving ladder a request is rerouted."""
+
+    NORMAL = "normal"
+    DEGRADE = "degrade"
+    COLD = "cold"
+    FLOOR = "floor"
+
+    @property
+    def level(self) -> int:
+        return _LEVELS.index(self)
+
+
+_LEVELS = (
+    ServiceMode.NORMAL, ServiceMode.DEGRADE, ServiceMode.COLD, ServiceMode.FLOOR
+)
+
+
+class CircuitBreaker:
+    """Strike-counting breaker with the serving ladder between its ends."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._strikes = 0
+        self._last_failure = 0.0
+        self.trips = 0  # times the breaker went fully open
+
+    # -- observation ----------------------------------------------------------
+
+    @property
+    def strikes(self) -> int:
+        return self._strikes
+
+    def _level(self) -> int:
+        return self._strikes // self.threshold
+
+    def state(self) -> dict:
+        with self._lock:
+            level = self._level()
+            return {
+                "strikes": self._strikes,
+                "mode": (
+                    "open" if level >= len(_LEVELS)
+                    else _LEVELS[level].value
+                ),
+                "trips": self.trips,
+            }
+
+    def is_open(self) -> bool:
+        with self._lock:
+            return self._level() >= len(_LEVELS)
+
+    # -- the admission-side gate ----------------------------------------------
+
+    def allow(self) -> ServiceMode:
+        """The mode this request must run under, or an RL553 refusal.
+
+        Open + cooled down half-opens: the request is admitted as a
+        probe at the FLOOR rung (the cheapest sound mode) rather than at
+        full strength — one success then starts paying the ladder back.
+        """
+        with self._lock:
+            level = self._level()
+            if level < len(_LEVELS):
+                return _LEVELS[level]
+            if self._clock() - self._last_failure >= self.cooldown:
+                return ServiceMode.FLOOR  # half-open probe
+            raise ServiceError(
+                CODE_SERVICE_BREAKER_OPEN,
+                "breaker-open",
+                f"circuit breaker open after {self._strikes} consecutive "
+                f"failure(s); retry after {self.cooldown:g}s",
+            )
+
+    # -- outcome feedback ------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._strikes = max(0, self._strikes - self.threshold)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            was_open = self._level() >= len(_LEVELS)
+            self._strikes += 1
+            self._last_failure = self._clock()
+            if not was_open and self._level() >= len(_LEVELS):
+                self.trips += 1

@@ -1,0 +1,159 @@
+"""Fingerprint-keyed request dedup: coalesce, cache, persist.
+
+The serving layer's value-context discipline (after Padhye & Khedker's
+value-contexts in Soot): two requests are *equivalent* iff their
+``(analysis, config key, source)`` fingerprints match, and equivalent
+work is done exactly once:
+
+- :class:`InFlightTable` — the first equivalent submission becomes the
+  **leader** and solves; concurrent equals become **followers** that
+  block on the leader's event and reuse its response (``served:
+  "dedup"``). Leaders publish errors too, so a crashing request doesn't
+  strand its followers.
+- :class:`ResponseCache` — completed responses, an in-memory LRU in
+  front of the :class:`~repro.store.artifacts.ArtifactStore` (one
+  content-addressed object per response, indexed under the
+  ``service-response`` config key). Repeats across daemon restarts hit
+  the disk tier (``served: "store"``).
+
+Staleness is impossible by construction: the fingerprint covers every
+input the solve depends on, and store objects re-hash on read — a
+corrupt entry is a miss, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from repro.store.artifacts import StoreError
+from repro.store.fingerprints import canonical_dumps
+from repro.store.fingerprints import config_key as _config_key
+
+#: the store index namespace service responses are published under.
+STORE_CONFIG_KEY = "service-response"
+
+
+def request_fingerprint(analysis: str, config, source: str) -> str:
+    """Identity of one unit of service work. Covers the analysis kind,
+    every configuration axis (via the store's config key), and the exact
+    program text."""
+    payload = canonical_dumps(
+        {
+            "analysis": analysis,
+            "config": _config_key(config),
+            "source": source,
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class _Flight:
+    __slots__ = ("event", "response")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.response: dict | None = None
+
+
+class InFlightTable:
+    """Coalesces concurrent equivalent submissions onto one solve."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self.coalesced = 0
+
+    def begin_or_join(self, fingerprint: str) -> tuple[bool, _Flight]:
+        """Returns ``(is_leader, flight)``. The leader must eventually
+        call :meth:`finish` — on every path, including failures —
+        or its followers time out."""
+        with self._lock:
+            flight = self._flights.get(fingerprint)
+            if flight is not None:
+                self.coalesced += 1
+                return False, flight
+            flight = _Flight()
+            self._flights[fingerprint] = flight
+            return True, flight
+
+    def finish(self, fingerprint: str, response: dict) -> None:
+        with self._lock:
+            flight = self._flights.pop(fingerprint, None)
+        if flight is not None:
+            flight.response = response
+            flight.event.set()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+
+class ResponseCache:
+    """Memory LRU over the store's persistent response tier.
+
+    Only *exact* results are cached — the server never puts a response
+    produced under a breaker-forced mode here, so a degraded answer can
+    be served (marked) but never resurfaces for a healthy request.
+    """
+
+    def __init__(self, capacity: int = 256, store=None):
+        self.capacity = int(capacity)
+        self._store = store
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.store_hits = 0
+        self.misses = 0
+
+    def get(self, fingerprint: str) -> tuple[dict, str] | None:
+        """The cached response and its tier (``cache`` / ``store``)."""
+        with self._lock:
+            cached = self._entries.get(fingerprint)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(fingerprint)
+                return dict(cached), "cache"
+        if self._store is not None:
+            try:
+                meta = self._store.load_snapshot(STORE_CONFIG_KEY, fingerprint)
+                if meta is not None and isinstance(meta.get("sha"), str):
+                    response = self._store.get_object(meta["sha"])
+                    if isinstance(response, dict):
+                        with self._lock:
+                            self.store_hits += 1
+                            self._remember(fingerprint, response)
+                        return dict(response), "store"
+            except StoreError:
+                pass  # unreadable tier = miss; content hashing bars stale
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, fingerprint: str, response: dict) -> None:
+        with self._lock:
+            self._remember(fingerprint, response)
+        if self._store is not None:
+            try:
+                sha = self._store.put_object(response)
+                self._store.append_snapshot(
+                    STORE_CONFIG_KEY, fingerprint, {"sha": sha}
+                )
+            except (StoreError, OSError, ValueError):
+                pass  # persistence is best-effort; memory tier still serves
+
+    def _remember(self, fingerprint: str, response: dict) -> None:
+        self._entries[fingerprint] = dict(response)
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "cache_hits": self.hits,
+                "cache_store_hits": self.store_hits,
+                "cache_misses": self.misses,
+                "cache_entries": len(self._entries),
+            }

@@ -1,0 +1,144 @@
+"""The crash-safe request journal.
+
+Same fsync'd JSONL discipline as the sweep journal
+(:mod:`repro.resilience.journal`): line 0 is a header, every event is a
+single appended line flushed and fsync'd before the daemon acts on it, a
+torn final line is ignored, and a foreign or unreadable header truncates
+the file — a journal is replayed exactly or not at all.
+
+Events::
+
+    {"kind": "header", "schema": 1, "fingerprint": "repro-service"}
+    {"kind": "begin", "id": "r1", "fingerprint": "...", "request": {...}}
+    {"kind": "done", "id": "r1", "fingerprint": "...", "status": "ok"}
+    {"kind": "recovered", "id": "r1", "status": "replayed"|"refused"}
+
+``begin`` is written *after* admission but *before* the solve, so a
+daemon killed mid-request leaves a begin with no done. On restart
+:meth:`RequestJournal.interrupted` surfaces exactly those requests — the
+full request payload rides in the begin line, so the daemon can replay
+the work (re-execute and publish, nothing stale: a replay is a complete
+re-solve) or refuse it (RL556), deterministically either way. The
+``recovered`` event marks the verdict so a second restart does not
+replay the same request twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+SCHEMA = 1
+FINGERPRINT = "repro-service"
+
+
+class RequestJournal:
+    """Append-only record of request admissions and completions."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._ensure_header()
+
+    # -- reading --------------------------------------------------------------
+
+    def interrupted(self) -> list[dict]:
+        """Begin events with no terminal (done/recovered) event, in
+        admission order — the daemon's recovery work list. A missing or
+        foreign journal yields nothing (and is re-headed)."""
+        events = self._load_events()
+        begins: dict[str, dict] = {}
+        order: list[str] = []
+        for event in events:
+            kind = event.get("kind")
+            request_id = event.get("id")
+            if not isinstance(request_id, str):
+                continue
+            if kind == "begin" and isinstance(event.get("request"), dict):
+                if request_id not in begins:
+                    order.append(request_id)
+                begins[request_id] = event
+            elif kind in ("done", "recovered"):
+                begins.pop(request_id, None)
+        return [begins[request_id] for request_id in order
+                if request_id in begins]
+
+    def _load_events(self) -> list[dict]:
+        if not os.path.exists(self.path):
+            return []
+        events: list[dict] = []
+        header_ok = False
+        with open(self.path) as handle:
+            for line_no, line in enumerate(handle):
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # torn write: ignore, keep earlier events
+                if line_no == 0:
+                    header_ok = (
+                        isinstance(event, dict)
+                        and event.get("kind") == "header"
+                        and event.get("schema") == SCHEMA
+                        and event.get("fingerprint") == FINGERPRINT
+                    )
+                    if not header_ok:
+                        break
+                    continue
+                if isinstance(event, dict):
+                    events.append(event)
+        if not header_ok:
+            self._write_header()
+            return []
+        return events
+
+    # -- writing --------------------------------------------------------------
+
+    def _ensure_header(self) -> None:
+        if not os.path.exists(self.path):
+            self._write_header()
+
+    def _write_header(self) -> None:
+        with open(self.path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "header",
+                        "schema": SCHEMA,
+                        "fingerprint": FINGERPRINT,
+                    }
+                )
+                + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _append(self, event: dict) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(event) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def begin(self, request_id: str, fingerprint: str, request: dict) -> None:
+        """Durably record an admitted request before any work happens."""
+        self._append(
+            {
+                "kind": "begin",
+                "id": request_id,
+                "fingerprint": fingerprint,
+                "request": request,
+            }
+        )
+
+    def done(self, request_id: str, fingerprint: str, status: str) -> None:
+        self._append(
+            {
+                "kind": "done",
+                "id": request_id,
+                "fingerprint": fingerprint,
+                "status": status,
+            }
+        )
+
+    def recovered(self, request_id: str, status: str) -> None:
+        self._append(
+            {"kind": "recovered", "id": request_id, "status": status}
+        )

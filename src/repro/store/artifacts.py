@@ -25,14 +25,21 @@ produce a :class:`StoreError`, never a silently wrong payload.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 
+try:  # advisory index locking; POSIX-only, degrades to unlocked
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro.store.fingerprints import SCHEMA, canonical_dumps
 
 _INDEX = "index.jsonl"
+_LOCK = "index.lock"
 _OBJECTS = "objects"
 
 
@@ -53,7 +60,31 @@ class ArtifactStore:
         self.path = path
         self._objects_dir = os.path.join(path, _OBJECTS)
         self._index_path = os.path.join(path, _INDEX)
+        self._lock_path = os.path.join(path, _LOCK)
         os.makedirs(self._objects_dir, exist_ok=True)
+
+    @contextlib.contextmanager
+    def _index_lock(self):
+        """Advisory exclusive lock serializing index mutation.
+
+        Two daemon requests (or two sweep workers) publishing the same
+        fingerprint race on ``index.jsonl``: the append itself is a
+        single ``write`` on an ``O_APPEND`` descriptor, but the
+        check-then-write-header path can *truncate* the index a
+        concurrent writer just appended to. The lock lives on a separate
+        file so readers (which tolerate torn lines by design) never
+        block and the index file itself is never opened just to lock it.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
     # -- objects --------------------------------------------------------------
 
@@ -107,9 +138,10 @@ class ArtifactStore:
 
     def append_snapshot(self, config_key: str, program: str, meta: dict) -> None:
         """Publish a snapshot line (fsync'd append; header written on
-        first use or after a reset)."""
-        if not os.path.exists(self._index_path):
-            self._write_header()
+        first use or after a reset). The whole check-header-then-append
+        runs under the advisory index lock so two concurrent publishers
+        can neither interleave a torn entry nor have one truncate the
+        index (header rewrite) while the other appends."""
         line = json.dumps(
             {
                 "kind": "snapshot",
@@ -118,10 +150,13 @@ class ArtifactStore:
                 "meta": meta,
             }
         )
-        with open(self._index_path, "a") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        with self._index_lock():
+            if not os.path.exists(self._index_path):
+                self._write_header()
+            with open(self._index_path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def load_snapshot(self, config_key: str, program: str) -> dict | None:
         """The latest snapshot for ``(config, program)``, or ``None``.
@@ -162,7 +197,8 @@ class ArtifactStore:
                 ):
                     found = event["meta"]  # last matching line wins
         if not header_ok:
-            self._write_header()
+            with self._index_lock():
+                self._write_header()
             raise StoreIndexError(
                 "store index unreadable or foreign; reset to empty"
             )

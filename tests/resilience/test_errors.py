@@ -65,6 +65,46 @@ class TestFormatCliError:
         rendered = format_cli_error(KeyError("boom"))
         assert rendered.startswith("error[internal]:")
 
+    def test_failure_record_renders_with_kind(self):
+        # a FailureRecord fed directly (e.g. replayed from a journal)
+        # must render its own kind — there is no traceback to classify
+        record = FailureRecord(
+            program="p", config=None, stage=Stage.SOLVE,
+            kind=FailureKind.TIMEOUT, message="took 9s",
+        )
+        assert format_cli_error(record) == "error[solve]: timeout: took 9s"
+
+    def test_json_roundtripped_record_keeps_its_kind(self):
+        # the satellite regression: round-tripping through JSON used to
+        # lose the kind because the renderer re-classified from a
+        # traceback the rebuilt record no longer has
+        live = FailureRecord.from_exception(
+            "p", "literal", BudgetExhaustedError("passes", 1, 2)
+        )
+        rebuilt = FailureRecord.from_json(live.to_json())
+        rendered = format_cli_error(rebuilt)
+        assert "budget" in rendered
+        assert rendered == format_cli_error(live)
+
+    def test_stageless_record_renders_internal(self):
+        record = FailureRecord(
+            program="p", config=None, stage=None,
+            kind=FailureKind.CRASH, message="m",
+        )
+        assert format_cli_error(record) == "error[internal]: crash: m"
+
+    def test_service_error_renders_its_code(self):
+        from repro.resilience.errors import (
+            CODE_SERVICE_RATE_LIMITED,
+            ServiceError,
+        )
+
+        error = ServiceError(
+            CODE_SERVICE_RATE_LIMITED, "rate-limited", "tenant over budget"
+        )
+        rendered = format_cli_error(error)
+        assert rendered == "error[service]: RL551: tenant over budget"
+
 
 class TestRecords:
     def test_failure_record_roundtrips_json(self):

@@ -1,0 +1,100 @@
+"""Admission control: token buckets and the bounded waiting room."""
+
+import pytest
+
+from repro.resilience.errors import ServiceError
+from repro.service.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_is_fractional_and_capped(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        for _ in range(3):
+            assert bucket.try_take()
+        clock.advance(0.25)  # half a token: still empty
+        assert not bucket.try_take()
+        clock.advance(0.25)  # the halves accumulate to one
+        assert bucket.try_take()
+        clock.advance(1000.0)  # refill never exceeds the burst
+        for _ in range(3):
+            assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_zero_rate_is_a_hard_cap(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1, clock=clock)
+        assert bucket.try_take()
+        clock.advance(1e9)
+        assert not bucket.try_take()
+
+
+class TestAdmissionController:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(queue_limit=2, tenant_rate=0.0, tenant_burst=10)
+        defaults.update(kwargs)
+        return AdmissionController(clock=clock, **defaults), clock
+
+    def test_admit_and_leave_balance(self):
+        controller, _ = self.make()
+        controller.admit("a")
+        assert controller.waiting == 1
+        controller.leave()
+        assert controller.waiting == 0
+
+    def test_draining_rejects_before_any_gate(self):
+        controller, _ = self.make(tenant_burst=0)  # bucket would also reject
+        with pytest.raises(ServiceError) as exc_info:
+            controller.admit("a", draining=True)
+        assert exc_info.value.code == "RL552"
+        assert controller.rejections["draining"] == 1
+        # nothing was consumed: no bucket exists, no slot taken
+        assert controller.waiting == 0
+        assert controller.counters()["tenants"] == 0
+
+    def test_rate_limit_is_per_tenant(self):
+        controller, _ = self.make(tenant_burst=1, queue_limit=10)
+        controller.admit("alice")
+        with pytest.raises(ServiceError) as exc_info:
+            controller.admit("alice")
+        assert exc_info.value.code == "RL551"
+        assert exc_info.value.kind == "rate-limited"
+        controller.admit("bob")  # a different tenant is unaffected
+        assert controller.waiting == 2
+
+    def test_queue_full_is_typed_and_instant(self):
+        controller, _ = self.make(queue_limit=1)
+        controller.admit("a")
+        with pytest.raises(ServiceError) as exc_info:
+            controller.admit("b")
+        assert exc_info.value.code == "RL550"
+        assert exc_info.value.kind == "queue-full"
+        assert controller.waiting == 1  # the rejected request took nothing
+
+    def test_counters_shape(self):
+        controller, _ = self.make(queue_limit=0)
+        with pytest.raises(ServiceError):
+            controller.admit("a")
+        counters = controller.counters()
+        assert counters["rejected_queue-full"] == 1
+        assert counters["rejected_rate-limited"] == 0
+        assert counters["waiting"] == 0

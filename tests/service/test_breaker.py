@@ -1,0 +1,98 @@
+"""The circuit breaker's ladder, trip, half-open probe, and recovery."""
+
+import pytest
+
+from repro.resilience.errors import ServiceError
+from repro.service.breaker import CircuitBreaker, ServiceMode
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(threshold=2, cooldown=5.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold, cooldown, clock), clock
+
+
+class TestLadder:
+    def test_healthy_breaker_serves_normal(self):
+        breaker, _ = make()
+        assert breaker.allow() is ServiceMode.NORMAL
+
+    def test_each_threshold_drops_one_rung(self):
+        breaker, _ = make(threshold=2)
+        expected = [
+            ServiceMode.NORMAL, ServiceMode.NORMAL,
+            ServiceMode.DEGRADE, ServiceMode.DEGRADE,
+            ServiceMode.COLD, ServiceMode.COLD,
+            ServiceMode.FLOOR, ServiceMode.FLOOR,
+        ]
+        for mode in expected:
+            assert breaker.allow() is mode
+            breaker.record_failure()
+        assert breaker.is_open()
+
+    def test_open_refuses_with_rl553(self):
+        breaker, _ = make(threshold=1, cooldown=10.0)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.is_open()
+        assert breaker.trips == 1
+        with pytest.raises(ServiceError) as exc_info:
+            breaker.allow()
+        assert exc_info.value.code == "RL553"
+        assert exc_info.value.kind == "breaker-open"
+
+    def test_half_open_probe_after_cooldown_runs_at_floor(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(4.9)
+        with pytest.raises(ServiceError):
+            breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow() is ServiceMode.FLOOR
+
+    def test_probe_failure_restarts_the_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow() is ServiceMode.FLOOR
+        breaker.record_failure()  # the probe failed
+        with pytest.raises(ServiceError):
+            breaker.allow()
+
+    def test_success_repays_one_full_level(self):
+        breaker, _ = make(threshold=2)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.allow() is ServiceMode.COLD
+        breaker.record_success()
+        assert breaker.allow() is ServiceMode.DEGRADE
+        breaker.record_success()
+        assert breaker.allow() is ServiceMode.NORMAL
+        breaker.record_success()  # never below zero strikes
+        assert breaker.strikes == 0
+
+    def test_state_renders_mode(self):
+        breaker, _ = make(threshold=1)
+        assert breaker.state()["mode"] == "normal"
+        breaker.record_failure()
+        assert breaker.state()["mode"] == "degrade"
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state()["mode"] == "open"
+        assert breaker.state()["trips"] == 1
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

@@ -109,3 +109,51 @@ class TestSnapshotIndex:
             handle.write("}{ torn\n")
             handle.write(json.dumps({"kind": "noise"}) + "\n")
         assert store.load_snapshot("cfg", "prog") == {"rev": 1}
+
+
+def _hammer_index(path: str, writer: int, appends: int) -> None:
+    store = ArtifactStore(path)
+    for revision in range(appends):
+        store.append_snapshot("cfg", f"writer{writer}", {"rev": revision})
+
+
+class TestIndexLocking:
+    """The two-writer regression for the advisory index lock.
+
+    Without the flock around check-header-then-append, one writer's
+    "missing header" probe races another's first append: the header
+    rewrite (mode ``"w"``) truncates lines the other just fsync'd, and
+    whole snapshot histories silently vanish. Two daemon requests
+    publishing concurrently — or a service process next to a sweep
+    worker — hit exactly this path.
+    """
+
+    def test_two_processes_never_lose_or_tear_lines(self, tmp_path):
+        import multiprocessing
+
+        path = str(tmp_path / "store")
+        writers, appends = 4, 25
+        context = multiprocessing.get_context("spawn")
+        processes = [
+            context.Process(target=_hammer_index, args=(path, w, appends))
+            for w in range(writers)
+        ]
+        for proc in processes:
+            proc.start()
+        for proc in processes:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        store = ArtifactStore(path)
+        with open(store._index_path) as handle:
+            lines = handle.read().splitlines()
+        events = [json.loads(line) for line in lines]  # nothing torn
+        assert events[0] == {"kind": "header", "schema": SCHEMA}
+        # exactly one header — and it is line 0, not a mid-file rewrite
+        assert sum(1 for e in events if e.get("kind") == "header") == 1
+        # every fsync'd append survived: no writer truncated another
+        assert len(events) == 1 + writers * appends
+        for writer in range(writers):
+            assert store.load_snapshot("cfg", f"writer{writer}") == {
+                "rev": appends - 1
+            }

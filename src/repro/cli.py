@@ -233,6 +233,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--chaos", default=None, metavar="JSON",
                            help="arm a deterministic chaos spec (the "
                                 "spec_to_json wire format) — test use only")
+
+    store_cmd = sub.add_parser(
+        "store", help="maintain a persistent artifact store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    gc_cmd = store_sub.add_parser(
+        "gc", help="evict least-recently-verified artifacts"
+    )
+    gc_cmd.add_argument("--store", required=True, metavar="DIR",
+                        help="artifact store directory to compact")
+    gc_cmd.add_argument("--max-bytes", type=int, required=True,
+                        metavar="N",
+                        help="evict least-recently-verified objects until "
+                             "the objects/ tree fits in N bytes; snapshot "
+                             "lines referencing evicted artifacts are "
+                             "dropped from the index")
     return parser
 
 
@@ -651,6 +667,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve_stdio(service)
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    report = store.gc(args.max_bytes)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "run": _cmd_run,
@@ -659,6 +686,7 @@ _COMMANDS = {
     "workload": _cmd_workload,
     "clone": _cmd_clone,
     "serve": _cmd_serve,
+    "store": _cmd_store,
 }
 
 

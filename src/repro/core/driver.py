@@ -67,6 +67,7 @@ from repro.resilience.errors import (
     CODE_DEGRADED_FLOOR,
     CODE_DEGRADED_LADDER,
     CODE_PARALLEL_FALLBACK,
+    CODE_SLAB_FALLBACK,
     CODE_STORE_FALLBACK,
     CODE_STORE_RESET,
     BudgetExhaustedError,
@@ -80,6 +81,7 @@ from repro.store.incremental import (
     plan_warm_start,
     publish_snapshot,
 )
+from repro.store.slabs import plan_slab, publish_slab
 
 
 # -- stage 0: configuration-independent artifacts ----------------------------
@@ -496,6 +498,63 @@ def _plan_incremental(
         )
 
 
+def _plan_slab(
+    store,
+    cfg_key: str,
+    lowered: LoweredProgram,
+    graph: CallGraph,
+    modref: ModRefInfo,
+    forward: ForwardFunctions,
+    degradations: list[DegradationRecord],
+):
+    """The flat engine's store pre-pass: load (or load-and-patch) the
+    persistent slab. Any untrusted artifact degrades to a cold rebuild
+    (RL532), an index reset to RL531 — never an analysis failure."""
+    try:
+        return plan_slab(
+            store,
+            cfg_key=cfg_key,
+            lowered=lowered,
+            graph=graph,
+            modref=modref,
+            forward=forward,
+        )
+    except StoreIndexError as exc:
+        degradations.append(
+            DegradationRecord(
+                code=CODE_STORE_RESET,
+                from_label="store",
+                to_label="reset",
+                counter="store",
+                detail=str(exc),
+            )
+        )
+        return None, IncrementalReport(mode="cold", detail="index reset")
+    except StoreError as exc:
+        degradations.append(
+            DegradationRecord(
+                code=CODE_SLAB_FALLBACK,
+                from_label="slab",
+                to_label="rebuild",
+                counter="store",
+                detail=str(exc),
+            )
+        )
+        return None, IncrementalReport(
+            mode="fallback", store_fallbacks=1, detail=str(exc)
+        )
+
+
+def _current_slab(forward: ForwardFunctions):
+    """The slab the flat solve actually used, if any — a loaded one wins
+    (that is what :func:`repro.core.slab.slab_for` returns first)."""
+    loaded = getattr(forward, "_slab_loaded", None)
+    if loaded is not None:
+        return loaded
+    cached = getattr(forward, "_slab", None)
+    return cached[2] if cached is not None else None
+
+
 def _config_stages(
     lowered: LoweredProgram,
     graph: CallGraph,
@@ -569,11 +628,37 @@ def _config_stages(
             and incremental
             and store_report is None
             and not current.intraprocedural_only
+            and not current.flat_engine
             and kind is effective.jump_function
         ):
             warm, store_report = _plan_incremental(
                 store, cfg_key, lowered, graph, modref, forward, degradations
             )
+        if (
+            store is not None
+            and current.flat_engine
+            and store_report is None
+            and not current.intraprocedural_only
+            and lowered.program.source
+            and kind is effective.jump_function
+        ):
+            # The flat engine's warm path is the persistent slab, not the
+            # boxed warm start (a warm start would route the solve back
+            # to the object engine). Not gated on ``incremental``: a
+            # loaded slab is bit-for-bit the slab a cold build produces,
+            # so adopting it is a pure time saving, never a plan.
+            start = time.perf_counter()
+            slab, store_report = _plan_slab(
+                store, cfg_key, lowered, graph, modref, forward, degradations
+            )
+            timings["slab_plan"] = (
+                timings.get("slab_plan", 0.0) + time.perf_counter() - start
+            )
+            if slab is not None:
+                try:
+                    forward._slab_loaded = slab
+                except AttributeError:
+                    pass
 
         start = time.perf_counter()
         try:
@@ -618,21 +703,44 @@ def _config_stages(
         store is not None
         and not current.intraprocedural_only
         and all(
-            record.code in (CODE_STORE_FALLBACK, CODE_STORE_RESET)
+            record.code
+            in (CODE_STORE_FALLBACK, CODE_STORE_RESET, CODE_SLAB_FALLBACK)
             for record in degradations
         )
     ):
         try:
-            publish_snapshot(
-                store,
-                cfg_key=cfg_key,
-                lowered=lowered,
-                graph=graph,
-                modref=modref,
-                forward=forward,
-                returns_table=returns.table,
-                solved=solved,
-            )
+            if current.flat_engine:
+                # Flat runs persist the slab itself instead of the boxed
+                # snapshot; a pure warm load ("slab") changed nothing, so
+                # republishing would only rewrite identical artifacts.
+                slab = _current_slab(forward)
+                if (
+                    slab is not None
+                    and lowered.program.source
+                    and not (
+                        store_report is not None
+                        and store_report.mode == "slab"
+                    )
+                ):
+                    publish_slab(
+                        store,
+                        cfg_key=cfg_key,
+                        lowered=lowered,
+                        modref=modref,
+                        forward=forward,
+                        slab=slab,
+                    )
+            else:
+                publish_snapshot(
+                    store,
+                    cfg_key=cfg_key,
+                    lowered=lowered,
+                    graph=graph,
+                    modref=modref,
+                    forward=forward,
+                    returns_table=returns.table,
+                    solved=solved,
+                )
         except (StoreError, OSError, ValueError) as exc:
             degradations.append(
                 DegradationRecord(

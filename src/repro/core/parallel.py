@@ -22,6 +22,15 @@ schedule's: a task flushes into private all-⊤ scratch environments, so
 it cannot see that a sibling region already lowered a shared callee
 binding to ⊥ and skip the evaluation.
 
+Under ``--flat`` the same wave schedule runs over the slab engine
+instead: the worker state carries the configuration's
+:class:`~repro.core.slab.SlabProgram` (store-loaded and possibly
+patched in the parent, rebuilt deterministically in spawned workers —
+tasks exchange only name/key-addressed segments, so the processes never
+need byte-identical slabs), and each region task replays its members'
+precomputed firing-stream blocks with drains confined to the region's
+contiguous slot range (:func:`_solve_region_task_flat`).
+
 Worker processes rebuild stages 0–2 from ``(source, config)`` in their
 initializer — every stage is deterministic, so the rebuilt region
 indices, support index, and expression identities line up with the
@@ -49,6 +58,7 @@ re-raises it.
 
 from __future__ import annotations
 
+from array import array
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Mapping
@@ -71,7 +81,13 @@ from repro.core.regions import (
     region_schedule,
     wave_schedule,
 )
-from repro.core.slab import SlabSegment, encode_env
+from repro.core.slab import (
+    CONST_BASE,
+    SlabProgram,
+    SlabSegment,
+    encode_env,
+    slab_for,
+)
 from repro.core.solver import (
     SolveResult,
     _partition_for,
@@ -114,6 +130,11 @@ class _WorkerState:
     keys_of: dict[str, list[EntryKey]]
     rpo: dict[str, int]
     compiled: bool
+    #: the flat engine's slab (and its name→pid map) when the config
+    #: runs ``--flat``: region tasks then replay firing-stream blocks
+    #: instead of running the object DeltaEngine
+    slab: SlabProgram | None = None
+    slab_pids: dict[str, int] | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -152,6 +173,11 @@ def _make_state(
     compiled: bool,
 ) -> _WorkerState:
     schedule = region_schedule(graph)
+    slab = (
+        slab_for(forward, lowered, graph)
+        if config is not None and config.flat_engine
+        else None
+    )
     return _WorkerState(
         source=source,
         config=config,
@@ -164,6 +190,12 @@ def _make_state(
         keys_of=entry_keys(lowered),
         rpo=graph.rpo_index(),
         compiled=compiled,
+        slab=slab,
+        slab_pids=(
+            {name: pid for pid, name in enumerate(slab.proc_names)}
+            if slab is not None
+            else None
+        ),
     )
 
 
@@ -223,6 +255,255 @@ def _worker_init(
     _WORKER_STATE = _build_worker_state(source, config)
 
 
+def _segment_of(
+    keys: tuple[EntryKey, ...], codes: array, pool_values: list
+) -> SlabSegment:
+    """Re-pool a codes slice into a self-contained :class:`SlabSegment`:
+    the slab's global pool numbering is process-private, so wire
+    segments carry their own constant tuple exactly like
+    :func:`~repro.core.slab.encode_env`'s output."""
+    local: list[LatticeValue] = []
+    remap: dict[int, int] = {}
+    out = array("i", codes)
+    for i, code in enumerate(out):
+        if code >= CONST_BASE:
+            new = remap.get(code)
+            if new is None:
+                new = len(local) + CONST_BASE
+                remap[code] = new
+                local.append(pool_values[code - CONST_BASE])
+            out[i] = new
+    return SlabSegment(keys, out, tuple(local))
+
+
+def _solve_region_task_flat(
+    state: _WorkerState,
+    index: int,
+    reached: tuple[str, ...],
+    envs: Mapping[str, dict[EntryKey, LatticeValue]],
+    budget: SolveBudget | None,
+) -> RegionOutcome:
+    """Flat-engine variant of :func:`_solve_region_task`: replay the
+    region members' precomputed firing-stream blocks against a private
+    codes array instead of running the object :class:`DeltaEngine`.
+
+    Soundness mirrors the sequential flat solve restricted to one
+    region. Slots are assigned in region-schedule order, so a region's
+    members occupy one contiguous pid (and therefore slot) range — the
+    guard below re-checks that and raises :class:`ParallelSolveError`
+    (→ RL540, sequential re-solve) rather than trusting it. The
+    members replayed are exactly those the global sweep reached
+    (``pid_rank >= 0``): by the wave invariant every activation into
+    this region is already recorded when its wave runs, so the global
+    reach of a member equals its in-region reachability from
+    ``reached``. The stream's baked ``enq`` flag ("owner seeded before
+    this firing?") keeps its meaning under the restriction because
+    members replay in global sweep-rank order; drains are confined to
+    the region's slot range, and everything lowered outside it reads
+    off as this region's pure contribution — external scratch starts
+    all-⊤ exactly like the object task's."""
+    slab = state.slab
+    pids_of = state.slab_pids
+    assert slab is not None and pids_of is not None
+    region = state.schedule.regions[index]
+    pids = sorted(pids_of[member] for member in region.members)
+    lo_pid, hi_pid = pids[0], pids[-1] + 1
+    if pids != list(range(lo_pid, hi_pid)):
+        raise ParallelSolveError(
+            f"region {index} members are not slot-contiguous in the slab"
+        )
+    slot_base = slab.slot_base
+    slot_lo, slot_hi = slot_base[lo_pid], slot_base[hi_pid]
+    nslots = slab.nslots
+    codes = array("i", bytes(4 * nslots)) if nslots else array("i")
+    pool = slab.pool
+    encode = pool.encode
+    for member in reached:
+        env = envs.get(member)
+        if env is None:
+            continue
+        base = slot_base[pids_of[member]]
+        if len(env) != slot_base[pids_of[member] + 1] - base:
+            raise ParallelSolveError(
+                f"entry environment for {member} does not match the slab"
+            )
+        # dict order is entry_keys order on both sides (initial_val and
+        # build_slab share it), so offsets line up without key lookups
+        for offset, value in enumerate(env.values()):
+            if value is not TOP:
+                codes[base + offset] = encode(value)
+
+    pid_rank = slab.pid_rank
+    replay = [pid for pid in range(lo_pid, hi_pid) if pid_rank[pid] >= 0]
+    replay.sort(key=pid_rank.__getitem__)
+    block_starts = slab.p1_block_starts
+    p1_target = slab.p1_target
+    p1_kind = slab.p1_kind
+    p1_payload = slab.p1_payload
+    p1_enq = slab.p1_enq
+    kernels = slab.kernels
+    in_queue = array("i", bytes(4 * nslots)) if nslots else array("i")
+    queue: list[int] = []
+    fill_gen = 1
+    stats = SolveResult(val={})
+    evaluations = meets = bottom_skips = skipped = 0
+    for pid in replay:
+        rank = pid_rank[pid]
+        for e in range(block_starts[rank], block_starts[rank + 1]):
+            target = p1_target[e]
+            old = codes[target]
+            kind = p1_kind[e]
+            if old == 1:
+                if kind == 4:
+                    skipped += 1
+                else:
+                    bottom_skips += 1
+                continue
+            if kind == 1:
+                evaluations += 1
+                payload = p1_payload[e]
+                inc = codes[payload] if payload >= 0 else 1
+            elif kind == 0:
+                inc = p1_payload[e]
+            elif kind == 4:
+                skipped += 1
+                meets += 1
+                codes[target] = 1
+                if (
+                    p1_enq[e]
+                    and slot_lo <= target < slot_hi
+                    and in_queue[target] != fill_gen
+                ):
+                    in_queue[target] = fill_gen
+                    queue.append(target)
+                continue
+            elif kind == 2:
+                evaluations += 1
+                inc = encode(kernels[p1_payload[e]](codes))
+            else:
+                bottom_skips += 1
+                inc = 1
+            meets += 1
+            if old == 0:
+                new = inc
+            elif inc == 0 or old == inc:
+                continue
+            else:
+                new = 1
+            if new != old:
+                codes[target] = new
+                if (
+                    p1_enq[e]
+                    and slot_lo <= target < slot_hi
+                    and in_queue[target] != fill_gen
+                ):
+                    in_queue[target] = fill_gen
+                    queue.append(target)
+    stats.evaluations += evaluations
+    stats.meets += meets
+    stats.bottom_skips += bottom_skips
+    stats.skipped += skipped
+    if budget is not None:
+        budget.check_engine(stats)
+
+    dep_indptr = slab.dep_indptr
+    dep_edges = slab.dep_edges
+    batch_drains = 0
+    pops = len(replay)
+    while queue:
+        batch = queue
+        queue = []
+        fill_gen += 1
+        batch_drains += 1
+        evaluations = meets = bottom_skips = 0
+        for slot in batch:
+            for i in range(dep_indptr[slot], dep_indptr[slot + 1]):
+                e = dep_edges[i]
+                target = p1_target[e]
+                old = codes[target]
+                if old == 1:
+                    bottom_skips += 1
+                    continue
+                kind = p1_kind[e]
+                if kind == 0:
+                    inc = p1_payload[e]
+                elif kind == 1:
+                    evaluations += 1
+                    source = p1_payload[e]
+                    inc = codes[source] if source >= 0 else 1
+                elif kind == 2:
+                    evaluations += 1
+                    inc = encode(kernels[p1_payload[e]](codes))
+                else:
+                    bottom_skips += 1
+                    inc = 1
+                meets += 1
+                if old == 0:
+                    new = inc
+                elif inc == 0 or old == inc:
+                    continue
+                else:
+                    new = 1
+                if new != old:
+                    codes[target] = new
+                    if (
+                        slot_lo <= target < slot_hi
+                        and in_queue[target] != fill_gen
+                    ):
+                        in_queue[target] = fill_gen
+                        queue.append(target)
+        pops += len(batch)
+        stats.evaluations += evaluations
+        stats.meets += meets
+        stats.bottom_skips += bottom_skips
+        stats.deltas += len(batch)
+        if budget is not None:
+            budget.check_engine(stats)
+            budget.check_passes(1 + batch_drains)
+
+    keys_flat = slab.keys_flat
+    pool_values = pool.values
+    member_envs: dict[str, SlabSegment] = {}
+    for pid in replay:
+        base, end = slot_base[pid], slot_base[pid + 1]
+        member_envs[slab.proc_names[pid]] = _segment_of(
+            keys_flat[base:end], codes[base:end], pool_values
+        )
+    callee_indptr = slab.callee_indptr
+    callee_ids = slab.callee_ids
+    external: dict[int, None] = {}
+    for pid in replay:
+        for i in range(callee_indptr[pid], callee_indptr[pid + 1]):
+            callee = callee_ids[i]
+            if not lo_pid <= callee < hi_pid and callee not in external:
+                external[callee] = None
+    contributions: dict[str, SlabSegment] = {}
+    for callee in external:
+        keys: list[EntryKey] = []
+        touched = array("i")
+        for slot in range(slot_base[callee], slot_base[callee + 1]):
+            code = codes[slot]
+            if code:  # lowered from ⊤ by this region's edges
+                keys.append(keys_flat[slot])
+                touched.append(code)
+        if keys:
+            contributions[slab.proc_names[callee]] = _segment_of(
+                tuple(keys), touched, pool_values
+            )
+    return RegionOutcome(
+        index=index,
+        processed=tuple(slab.proc_names[pid] for pid in replay),
+        member_envs=member_envs,
+        activations=tuple(
+            sorted(slab.proc_names[callee] for callee in external)
+        ),
+        contributions=contributions,
+        counters={name: getattr(stats, name) for name in ENGINE_COUNTERS},
+        local_passes=1 + batch_drains,
+        pops=pops,
+    )
+
+
 def _solve_region_task(
     state: _WorkerState,
     index: int,
@@ -236,9 +517,13 @@ def _solve_region_task(
     ``envs`` their — final — entry environments. Members never reached
     stay at ⊤ exactly as in the sequential schedule. Cross-region
     callees get all-⊤ scratch environments, so the flush results read
-    off as pure contributions for the parent to meet in.
+    off as pure contributions for the parent to meet in. When the
+    worker state carries a slab (``--flat``), the firing-stream replay
+    variant runs instead of the object engine.
     """
     chaos.chaos_point(Stage.SOLVE, scope="region-worker")
+    if state.slab is not None:
+        return _solve_region_task_flat(state, index, reached, envs, budget)
     schedule = state.schedule
     region = schedule.regions[index]
     region_of = schedule.region_of
@@ -386,6 +671,11 @@ class ParallelRegionSolver:
         budget: SolveBudget | None = None,
         compiled: bool = False,
     ):
+        # Captured before _make_state so the slab's origin (store-loaded,
+        # freshly built, or an in-process cache hit) can be told apart —
+        # slab_for stamps forward._slab as a side effect of building.
+        loaded = getattr(forward, "_slab_loaded", None)
+        cached = getattr(forward, "_slab", None)
         self._state = _make_state(
             lowered,
             graph,
@@ -394,6 +684,15 @@ class ParallelRegionSolver:
             config=config,
             compiled=compiled,
         )
+        slab = self._state.slab
+        if slab is None:
+            self._slab_origin = None
+        elif loaded is not None and slab is loaded:
+            self._slab_origin = "load"
+        elif cached is None or cached[2] is not slab:
+            self._slab_origin = "build"
+        else:
+            self._slab_origin = "cache"
         self._workers = max(1, workers)
         self._budget = budget
 
@@ -468,6 +767,16 @@ class ParallelRegionSolver:
             if pool is not None:
                 _terminate_pool(pool)
         result.passes = max_local
+        slab = state.slab
+        if slab is not None:
+            result.slab_slots = slab.nslots
+            result.slab_bytes = slab.nbytes()
+            if self._slab_origin == "load":
+                result.slab_load_seconds = slab.load_seconds
+                result.slab_patched_procs = slab.patched_procs
+                result.slab_patched_slots = slab.patched_slots
+            elif self._slab_origin == "build":
+                result.slab_build_seconds = slab.build_seconds
         return result
 
     def _execute(self, pool, tasks, result: SolveResult) -> list[RegionOutcome]:

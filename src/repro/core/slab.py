@@ -79,6 +79,7 @@ import sys
 from array import array
 from dataclasses import dataclass
 from itertools import islice
+from time import perf_counter
 from typing import Iterator, Mapping
 
 from repro.callgraph.graph import CallGraph
@@ -106,28 +107,34 @@ KIND_KILL = 4  # phase-1 stream only: unconditional lower to ⊥ (MOD kill)
 class ConstPool:
     """Interned constant values, numbered from :data:`CONST_BASE`.
 
-    Interning keys on ``(class, value)`` — exactly the engine's
-    ``_memo_value`` discipline — so ``True`` and ``1`` get distinct
-    codes and equal codes imply lattice-equal values (the integer meet
-    relies on that implication).
+    Interning is per-class — exactly the engine's ``_memo_value``
+    discipline — so ``True`` and ``1`` get distinct codes and equal
+    codes imply lattice-equal values (the integer meet relies on that
+    implication). Each class keys its own dict by the value object
+    itself, so an entry's intern overhead is one dict slot: the
+    obvious single dict keyed on ``(class, value)`` tuples costs 56
+    more bytes per entry, which adds up once a large corpus's solve
+    interns its result constants into a retained slab.
     """
 
     __slots__ = ("values", "_codes")
 
     def __init__(self) -> None:
         self.values: list[LatticeValue] = []
-        self._codes: dict[tuple, int] = {}
+        self._codes: dict[type, dict[LatticeValue, int]] = {}
 
     def encode(self, value: LatticeValue) -> int:
         if value is TOP:
             return TOP_CODE
         if value is BOTTOM:
             return BOTTOM_CODE
-        key = (value.__class__, value)
-        code = self._codes.get(key)
+        by_cls = self._codes.get(value.__class__)
+        if by_cls is None:
+            by_cls = self._codes[value.__class__] = {}
+        code = by_cls.get(value)
         if code is None:
             code = len(self.values) + CONST_BASE
-            self._codes[key] = code
+            by_cls[value] = code
             self.values.append(value)
         return code
 
@@ -153,6 +160,8 @@ class SlabProgram:
         "nslots",
         "pool",
         "kernels",
+        "kernel_pids",
+        "kernel_exprs",
         "dep_indptr",
         "dep_edges",
         "init_slots",
@@ -161,7 +170,15 @@ class SlabProgram:
         "p1_kind",
         "p1_payload",
         "p1_enq",
+        "p1_block_starts",
+        "pid_rank",
+        "callee_indptr",
+        "callee_ids",
         "reached_pids",
+        "build_seconds",
+        "load_seconds",
+        "patched_procs",
+        "patched_slots",
         "_nbytes",
     )
 
@@ -183,6 +200,16 @@ class SlabProgram:
         self.nslots: int = 0
         self.pool = ConstPool()
         self.kernels: list = []
+        #: per-kernel provenance — ``kernel_pids[k]`` owns kernel ``k``
+        #: and ``kernel_exprs[k]`` is its interned expression. Closures
+        #: are not picklable, so persistence encodes the expression at
+        #: publish time and recompiles against the owner's slot map on
+        #: load. Parallel array + list rather than a list of tuples:
+        #: the expressions are stage-2 objects the jump functions
+        #: retain either way, so the slab's own cost per kernel is one
+        #: int32 and one pointer instead of a 56-byte tuple.
+        self.kernel_pids = array("i")
+        self.kernel_exprs: list = []
         self.dep_indptr = array("i")
         self.dep_edges = array("i")
         self.init_slots = array("i")
@@ -191,7 +218,21 @@ class SlabProgram:
         self.p1_kind = array("b")
         self.p1_payload = array("i")
         self.p1_enq = array("b")
+        #: stream offset where sweep rank ``r``'s block begins;
+        #: ``len(reached_pids) + 1`` entries, so rank ``r`` owns the
+        #: half-open range ``[p1_block_starts[r], p1_block_starts[r+1])``.
+        #: Retained (with ``pid_rank`` and the callee CSR) for slab
+        #: patching and the parallel replay path.
+        self.p1_block_starts = array("i")
+        self.pid_rank = array("i")
+        self.callee_indptr = array("i")
+        self.callee_ids = array("i")
         self.reached_pids = array("i")
+        #: provenance accounting surfaced through SolveResult.counters()
+        self.build_seconds: float = 0.0
+        self.load_seconds: float = 0.0
+        self.patched_procs: int = 0
+        self.patched_slots: int = 0
         self._nbytes: int | None = None
 
     @property
@@ -217,9 +258,17 @@ class SlabProgram:
                 total += sys.getsizeof(value)
         total += sys.getsizeof(self.pool.values)
         total += sum(sys.getsizeof(v) for v in self.pool.values)
+        # the intern side owns the per-class dict shells; their keys
+        # are the value objects counted just above, so counting the
+        # shells covers the pool's full per-entry overhead
         total += sys.getsizeof(self.pool._codes)
+        total += sum(sys.getsizeof(d) for d in self.pool._codes.values())
         total += sys.getsizeof(self.kernels)
         total += sum(sys.getsizeof(k) for k in self.kernels)
+        # kernel_pids is an array (counted above); kernel_exprs costs
+        # its pointer slots — the expressions are interned stage-2
+        # objects the jump functions retain whichever engine solves
+        total += sys.getsizeof(self.kernel_exprs)
         # tuple sizes include their reference slots; each *unique*
         # retained name/key costs one more pointer (the objects
         # themselves are shared with the frontend either way)
@@ -244,6 +293,7 @@ def build_slab(
     site-iteration order of :func:`build_support_index`, making every
     per-procedure structure a contiguous slice.
     """
+    started = perf_counter()
     keys_of = entry_keys(lowered)
     order = [
         name
@@ -312,6 +362,8 @@ def build_slab(
                         slab.kernels.append(
                             compile_slab_expr(expr, caller_slots, pool.values)
                         )
+                        slab.kernel_pids.append(pid)
+                        slab.kernel_exprs.append(expr)
                 else:
                     kind, payload = KIND_BOTTOM, 0
             edge_ids[id(edge)] = len(edge_target)
@@ -327,6 +379,11 @@ def build_slab(
             if target_pid is not None:
                 callee_ids.append(target_pid)
         callee_indptr.append(len(callee_ids))
+    # Retained: patching needs each procedure's callee slice to decide
+    # whether a splice is structure-preserving, and the parallel replay
+    # path walks it for activations.
+    slab.callee_indptr = array("i", callee_indptr)
+    slab.callee_ids = array("i", callee_ids)
 
     # Phase-1 stream. The structural sweep is value-independent: its
     # DFS pop order, every seed/kill firing, and even each firing's
@@ -354,8 +411,10 @@ def build_slab(
     seed_rank = [-1] * len(order)
     for rank, pid in enumerate(sweep):
         seed_rank[pid] = rank
+    slab.pid_rank = array("i", seed_rank)
     p1_pos = [-1] * len(edge_target)
     for rank, pid in enumerate(sweep):
+        slab.p1_block_starts.append(len(slab.p1_target))
         for e in range(seed_indptr[pid], seed_indptr[pid + 1]):
             target = edge_target[e]
             owner = seed_rank[slot_proc[target]]
@@ -371,6 +430,7 @@ def build_slab(
             slab.p1_kind.append(KIND_KILL)
             slab.p1_payload.append(0)
             slab.p1_enq.append(1 if 0 <= owner <= rank else 0)
+    slab.p1_block_starts.append(len(slab.p1_target))
     slab.reached_pids.extend(sweep)
 
     dep_lists: list[list[int]] = [[] for _ in range(slab.nslots)]
@@ -410,13 +470,185 @@ def build_slab(
             code = BOTTOM_CODE
         slab.init_slots.append(main_base + offset)
         slab.init_vals.append(code)
+    slab.build_seconds = perf_counter() - started
     return slab
+
+
+def patch_slab(
+    slab: SlabProgram,
+    lowered: LoweredProgram,
+    index: SupportIndex,
+    changed: list[str],
+) -> bool:
+    """Splice the ``changed`` procedures' firing-stream blocks and
+    dependent-CSR rows in place, leaving everything else untouched.
+
+    A patch is *structure-preserving* re-slabbing: slot numbering, the
+    reachability sweep, and every other procedure's blocks survive
+    byte-identical; only the changed procedures' outgoing seed/kill
+    firings (and the dep rows over their own slots, which are the only
+    rows that can reference them) are rebuilt from the fresh support
+    ``index``. That is sound exactly when, for every changed procedure,
+    its entry-key tuple and callee list match the slab — the caller
+    (:func:`repro.store.slabs.plan_slab`) has already established that
+    the procedure set and the globals table are unchanged, and unchanged
+    procedures have byte-identical fingerprints and jump-function
+    payloads, so their keys and blocks cannot have drifted.
+
+    Returns ``False`` — with the slab untouched — when any precondition
+    fails (a changed procedure gained/lost entry keys or callees, or the
+    slab does not describe this program); the caller then rebuilds cold.
+    Old kernels orphaned by a splice stay in the kernel table: nothing
+    references them, and the equivalence property is VAL identity, not
+    slab byte identity.
+    """
+    from bisect import bisect_right
+
+    keys_of = entry_keys(lowered)
+    name_to_pid = {name: pid for pid, name in enumerate(slab.proc_names)}
+    if set(name_to_pid) != set(lowered.procedures):
+        return False
+    slot_base = slab.slot_base
+    pid_rank = slab.pid_rank
+    # -- validate every precondition before mutating anything ---------------
+    for name in changed:
+        pid = name_to_pid.get(name)
+        if pid is None:
+            return False
+        sb, se = slot_base[pid], slot_base[pid + 1]
+        if tuple(keys_of.get(name, ())) != slab.keys_flat[sb:se]:
+            return False
+        new_callees = tuple(
+            name_to_pid[c]
+            for c in index.callees.get(name, ())
+            if c in name_to_pid
+        )
+        stored = tuple(
+            slab.callee_ids[slab.callee_indptr[pid]:slab.callee_indptr[pid + 1]]
+        )
+        if new_callees != stored:
+            return False
+    key_index_cache: dict[int, dict[EntryKey, int]] = {}
+
+    def key_index(pid: int) -> dict[EntryKey, int]:
+        ki = key_index_cache.get(pid)
+        if ki is None:
+            base, end = slot_base[pid], slot_base[pid + 1]
+            ki = {
+                slab.keys_flat[slot]: slot for slot in range(base, end)
+            }
+            key_index_cache[pid] = ki
+        return ki
+
+    pool = slab.pool
+    for name in changed:
+        pid = name_to_pid[name]
+        sb, se = slot_base[pid], slot_base[pid + 1]
+        rank = pid_rank[pid]
+        slab.patched_procs += 1
+        slab.patched_slots += se - sb
+        if rank < 0:
+            # unreached: the sweep never fired this procedure's edges, so
+            # there is no block to splice and its slots have no dep rows
+            continue
+        lo = slab.p1_block_starts[rank]
+        hi = slab.p1_block_starts[rank + 1]
+        caller_slots = key_index(pid)
+        new_target = array("i")
+        new_kind = array("b")
+        new_payload = array("i")
+        new_enq = array("b")
+        dep_rows: list[list[int]] = [[] for _ in range(se - sb)]
+        kernel_ids: dict[int, int] = {}
+        pos = lo
+        for edge in index.seeds.get(name, ()):
+            target = key_index(name_to_pid[edge.callee])[edge.key]
+            if edge.const is not None:
+                kind, payload = KIND_CONST, pool.encode(edge.const)
+            else:
+                expr = edge.expr
+                if expr.__class__ is EntryExpr:
+                    kind = KIND_PASS
+                    payload = caller_slots.get(expr.key, -1)
+                elif edge.support:
+                    kind = KIND_POLY
+                    payload = kernel_ids.get(id(expr), -1)
+                    if payload < 0:
+                        payload = len(slab.kernels)
+                        kernel_ids[id(expr)] = payload
+                        slab.kernels.append(
+                            compile_slab_expr(expr, caller_slots, pool.values)
+                        )
+                        slab.kernel_pids.append(pid)
+                        slab.kernel_exprs.append(expr)
+                else:
+                    kind, payload = KIND_BOTTOM, 0
+            owner = pid_rank[bisect_right(slot_base, target) - 1]
+            new_target.append(target)
+            new_kind.append(kind)
+            new_payload.append(payload)
+            new_enq.append(1 if 0 <= owner <= rank else 0)
+            for support_key in edge.support:
+                slot = caller_slots.get(support_key)
+                if slot is not None:
+                    dep_rows[slot - sb].append(pos)
+            pos += 1
+        for callee, key in index.kills.get(name, ()):
+            target = key_index(name_to_pid[callee])[key]
+            owner = pid_rank[bisect_right(slot_base, target) - 1]
+            new_target.append(target)
+            new_kind.append(KIND_KILL)
+            new_payload.append(0)
+            new_enq.append(1 if 0 <= owner <= rank else 0)
+            pos += 1
+        delta = len(new_target) - (hi - lo)
+        slab.p1_target = slab.p1_target[:lo] + new_target + slab.p1_target[hi:]
+        slab.p1_kind = slab.p1_kind[:lo] + new_kind + slab.p1_kind[hi:]
+        slab.p1_payload = (
+            slab.p1_payload[:lo] + new_payload + slab.p1_payload[hi:]
+        )
+        slab.p1_enq = slab.p1_enq[:lo] + new_enq + slab.p1_enq[hi:]
+        if delta:
+            for r in range(rank + 1, len(slab.p1_block_starts)):
+                slab.p1_block_starts[r] += delta
+        # Dep rows: positions inside [lo, hi) occur only in this
+        # procedure's own slot rows (dependents are keyed by the
+        # *caller's* support keys), so those rows are replaced wholesale
+        # and every other row only needs the post-block shift.
+        old_edges, old_indptr = slab.dep_edges, slab.dep_indptr
+        out_edges = array("i")
+        out_indptr = array("i", [0])
+        for slot in range(slab.nslots):
+            if sb <= slot < se:
+                out_edges.extend(dep_rows[slot - sb])
+            elif delta:
+                for j in range(old_indptr[slot], old_indptr[slot + 1]):
+                    e = old_edges[j]
+                    out_edges.append(e + delta if e >= hi else e)
+            else:
+                out_edges.extend(
+                    old_edges[old_indptr[slot]:old_indptr[slot + 1]]
+                )
+            out_indptr.append(len(out_edges))
+        slab.dep_edges = out_edges
+        slab.dep_indptr = out_indptr
+    slab._nbytes = None
+    return True
 
 
 def slab_for(forward, lowered: LoweredProgram, graph: CallGraph) -> SlabProgram:
     """The forward functions' slab, built once per (support index,
     schedule) pair — repeated flat solves over one stage-2 output share
-    one slab, mirroring the object engine's partition cache."""
+    one slab, mirroring the object engine's partition cache.
+
+    A slab the store tier already loaded (or loaded-and-patched) wins
+    outright: ``forward._slab_loaded`` is stamped by the driver after
+    :func:`repro.store.slabs.plan_slab` verifies fingerprints, and
+    honoring it here is what lets a warm run skip ``build_slab`` and
+    the phase-1 precompute entirely."""
+    loaded = getattr(forward, "_slab_loaded", None)
+    if loaded is not None:
+        return loaded
     index = forward.support_index(lowered)
     schedule = region_schedule(graph)
     cached = getattr(forward, "_slab", None)
@@ -451,8 +683,20 @@ def solve_flat(
     """
     from repro.core.solver import SolveResult
 
+    loaded = getattr(forward, "_slab_loaded", None)
+    cached = getattr(forward, "_slab", None)
     slab = slab_for(forward, lowered, graph)
     result = SolveResult(val={})
+    # Provenance accounting: report only the slab work *this* solve
+    # paid for — a cache hit from an earlier solve reports zeros, a
+    # fresh build reports its build wall, a store-loaded (possibly
+    # patched) slab reports the load/patch wall and patch extent.
+    if loaded is not None and slab is loaded:
+        result.slab_load_seconds = slab.load_seconds
+        result.slab_patched_procs = slab.patched_procs
+        result.slab_patched_slots = slab.patched_slots
+    elif cached is None or cached[2] is not slab:
+        result.slab_build_seconds = slab.build_seconds
 
     nslots = slab.nslots
     # zero-filled is ⊤-filled (TOP_CODE == 0); only DATA-initialized

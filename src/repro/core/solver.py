@@ -120,6 +120,16 @@ class SolveResult:
     slab_slots: int = 0
     slab_bytes: int = 0
     batch_drains: int = 0
+    #: slab provenance for this solve: seconds spent building the slab
+    #: cold vs. loading (and possibly patching) a persistent slab from
+    #: the artifact store, plus how much of the slab a patch re-slabbed.
+    #: All zero when the slab came from the in-process cache or the
+    #: solve did not run flat. The warm-run bench gate asserts
+    #: ``slab_build_seconds == 0`` while ``slab_load_seconds > 0``.
+    slab_build_seconds: float = 0.0
+    slab_load_seconds: float = 0.0
+    slab_patched_procs: int = 0
+    slab_patched_slots: int = 0
 
     def constants(self, proc: str) -> dict[EntryKey, LatticeValue]:
         """CONSTANTS(p): the entry keys proven constant (paper §2)."""
@@ -132,7 +142,7 @@ class SolveResult:
     def all_constants(self) -> dict[str, dict[EntryKey, LatticeValue]]:
         return {proc: self.constants(proc) for proc in self.val}
 
-    def counters(self) -> dict[str, int]:
+    def counters(self) -> dict[str, int | float]:
         """The solver statistics as a flat mapping (for reports/benchmarks)."""
         return {
             "passes": self.passes,
@@ -154,6 +164,10 @@ class SolveResult:
             "slab_slots": self.slab_slots,
             "slab_bytes": self.slab_bytes,
             "batch_drains": self.batch_drains,
+            "slab_build_seconds": self.slab_build_seconds,
+            "slab_load_seconds": self.slab_load_seconds,
+            "slab_patched_procs": self.slab_patched_procs,
+            "slab_patched_slots": self.slab_patched_slots,
         }
 
 

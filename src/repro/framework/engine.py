@@ -70,6 +70,10 @@ class ClientSolveResult:
     slab_slots: int = 0
     slab_bytes: int = 0
     batch_drains: int = 0
+    slab_build_seconds: float = 0.0
+    slab_load_seconds: float = 0.0
+    slab_patched_procs: int = 0
+    slab_patched_slots: int = 0
 
     def env(self, node: str) -> dict:
         """VAL(node): the node's entry-key environment."""
@@ -98,6 +102,10 @@ class ClientSolveResult:
             "slab_slots": self.slab_slots,
             "slab_bytes": self.slab_bytes,
             "batch_drains": self.batch_drains,
+            "slab_build_seconds": self.slab_build_seconds,
+            "slab_load_seconds": self.slab_load_seconds,
+            "slab_patched_procs": self.slab_patched_procs,
+            "slab_patched_slots": self.slab_patched_slots,
         }
 
 

@@ -93,6 +93,10 @@ CODE_STORE_FALLBACK = describe_code(
 CODE_STORE_RESET = describe_code(
     "RL531", "artifact store reset: unreadable, foreign, or corrupt index"
 )
+CODE_SLAB_FALLBACK = describe_code(
+    "RL532", "persistent slab artifact untrusted (truncated, corrupt, or "
+    "version-skewed): rebuilt the slab cold"
+)
 CODE_PARALLEL_FALLBACK = describe_code(
     "RL540", "parallel region solve failed: fell back to the sequential "
     "schedule"

@@ -80,6 +80,12 @@ class ServicePolicy:
     #: them with RL556); either way the decision is deterministic.
     replay: bool = True
     cache_capacity: int = 256
+    #: mirror exact responses into the artifact store's response tier.
+    #: Off, the store still serves solver-side warm starts — boxed
+    #: snapshots and persistent slabs — so a repeat request re-solves
+    #: against a loaded slab (``served: "slab"``) instead of being
+    #: answered from a stored response body.
+    persist_responses: bool = True
 
 
 class AnalysisService:
@@ -110,7 +116,10 @@ class AnalysisService:
             self.policy.breaker_threshold, self.policy.breaker_cooldown, clock
         )
         self._inflight = InFlightTable()
-        self.cache = ResponseCache(self.policy.cache_capacity, store)
+        self.cache = ResponseCache(
+            self.policy.cache_capacity,
+            store if self.policy.persist_responses else None,
+        )
         self._slots = threading.BoundedSemaphore(self.policy.workers)
         self._draining = threading.Event()
         self._active = 0
@@ -118,8 +127,8 @@ class AnalysisService:
         self._id_lock = threading.Lock()
         self._next_id = 0
         self.served: dict[str, int] = {
-            "cold": 0, "warm": 0, "cache": 0, "store": 0, "dedup": 0,
-            "replayed": 0, "errors": 0,
+            "cold": 0, "warm": 0, "slab": 0, "cache": 0, "store": 0,
+            "dedup": 0, "replayed": 0, "errors": 0,
         }
         #: what startup recovery decided for each interrupted request.
         self.recovered: list[dict] = []
@@ -334,12 +343,13 @@ class AnalysisService:
             store=self._store if use_store else None,
             incremental=incremental,
         )
-        served = (
-            "warm"
-            if result.incremental is not None
-            and result.incremental.mode == "warm"
-            else "cold"
-        )
+        report = result.incremental
+        if report is not None and report.mode.startswith("slab"):
+            served = "slab"  # the store's slab tier skipped build_slab
+        elif report is not None and report.mode == "warm":
+            served = "warm"
+        else:
+            served = "cold"
         response: dict = {
             "id": request.id,
             "status": "ok",

@@ -10,14 +10,29 @@
 - :mod:`repro.store.incremental` — snapshot construction, the
   fingerprint/jump-function diff, the invalidation closure, and the
   warm-start plan the solvers consume.
+- :mod:`repro.store.slabs` — persistent flat-engine slabs: the
+  self-verifying binary blob format, publication keyed by source sha
+  and per-procedure fingerprints, and the load/patch warm plan.
 """
 
 from repro.store.artifacts import ArtifactStore, MemoryStore, StoreError
 from repro.store.incremental import IncrementalReport
+from repro.store.slabs import (
+    SLAB_SCHEMA,
+    deserialize_slab,
+    plan_slab,
+    publish_slab,
+    serialize_slab,
+)
 
 __all__ = [
     "ArtifactStore",
     "MemoryStore",
     "StoreError",
     "IncrementalReport",
+    "SLAB_SCHEMA",
+    "deserialize_slab",
+    "plan_slab",
+    "publish_slab",
+    "serialize_slab",
 ]

@@ -4,6 +4,7 @@ Layout under the store directory::
 
     index.jsonl              append-only snapshot index (fsync'd)
     objects/<sha256>.json    canonical-JSON payloads, content-addressed
+    objects/<sha256>.bin     raw binary blobs (slab artifacts), ditto
 
 ``index.jsonl`` follows the resilience journal's discipline: line 0 is a
 header carrying the store schema; a torn final line (crash mid-append)
@@ -129,10 +130,155 @@ class ArtifactStore:
             raise StoreError(
                 f"object {sha} failed content verification (got {digest})"
             )
+        self._touch(target)
         try:
             return json.loads(text)
         except ValueError as exc:
             raise StoreError(f"object {sha} is not JSON: {exc}") from exc
+
+    # -- binary blobs ---------------------------------------------------------
+
+    def put_blob(self, data: bytes) -> str:
+        """Persist one raw binary blob (a serialized slab); returns its
+        sha256 name. Same write discipline as :meth:`put_object` — dedup
+        only against a verified twin, temp-file + rename + fsync."""
+        sha = hashlib.sha256(data).hexdigest()
+        target = os.path.join(self._objects_dir, f"{sha}.bin")
+        if os.path.exists(target):
+            try:
+                with open(target, "rb") as handle:
+                    if handle.read() == data:
+                        return sha
+            except OSError:
+                pass
+        fd, tmp = tempfile.mkstemp(dir=self._objects_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return sha
+
+    def get_blob(self, sha: str) -> bytes:
+        """Load and verify one blob; :class:`StoreError` on any missing,
+        truncated, or corrupted blob. A verified read refreshes the
+        file's mtime — the "recently verified" signal :meth:`gc` evicts
+        by."""
+        target = os.path.join(self._objects_dir, f"{sha}.bin")
+        try:
+            with open(target, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise StoreError(f"blob {sha} unreadable: {exc}") from exc
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != sha:
+            raise StoreError(
+                f"blob {sha} failed content verification (got {digest})"
+            )
+        self._touch(target)
+        return data
+
+    @staticmethod
+    def _touch(target: str) -> None:
+        """Refresh mtime after a successful verification (best-effort):
+        eviction order becomes least-recently-*verified*, so a blob that
+        keeps serving warm loads is never the first to go."""
+        try:
+            os.utime(target)
+        except OSError:  # pragma: no cover - read-only store is still usable
+            pass
+
+    # -- size control ---------------------------------------------------------
+
+    def gc(self, max_bytes: int) -> dict:
+        """Evict least-recently-verified objects until the objects
+        directory fits ``max_bytes``, then compact the snapshot index.
+
+        Eviction order is ascending mtime — reads refresh mtime on
+        successful verification, so the blobs that keep serving warm
+        loads survive. The whole pass (including the index rewrite,
+        which drops snapshot lines whose meta references an evicted
+        sha) runs under the advisory index lock, so a concurrent
+        publisher can neither append to a line set being compacted nor
+        observe a half-rewritten index. Returns a report dict.
+        """
+        with self._index_lock():
+            entries = []
+            total = 0
+            for name in os.listdir(self._objects_dir):
+                if not name.endswith((".json", ".bin")):
+                    continue
+                path = os.path.join(self._objects_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, name, path))
+                total += stat.st_size
+            before = total
+            removed = []
+            for _, size, name, path in sorted(entries):
+                if total <= max_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                removed.append(name.rsplit(".", 1)[0])
+            dropped = 0
+            if removed:
+                dropped = self._compact_index(set(removed))
+        return {
+            "before_bytes": before,
+            "after_bytes": total,
+            "removed_objects": len(removed),
+            "dropped_snapshots": dropped,
+        }
+
+    def _compact_index(self, removed: set[str]) -> int:
+        """Rewrite the index without snapshot lines whose meta references
+        an evicted sha (their objects are gone; keeping the lines would
+        turn every future load into a verification failure). Caller
+        holds the index lock."""
+        if not os.path.exists(self._index_path):
+            return 0
+        kept: list[str] = []
+        dropped = 0
+        with open(self._index_path) as handle:
+            for line_no, line in enumerate(handle):
+                if line_no == 0:
+                    continue  # header is rewritten below
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # torn line: compacting drops it
+                if (
+                    isinstance(event, dict)
+                    and event.get("kind") == "snapshot"
+                    and _references_any(event.get("meta"), removed)
+                ):
+                    dropped += 1
+                    continue
+                kept.append(line if line.endswith("\n") else line + "\n")
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(
+                    json.dumps({"kind": "header", "schema": SCHEMA}) + "\n"
+                )
+                handle.writelines(kept)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._index_path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return dropped
 
     # -- the snapshot index ---------------------------------------------------
 
@@ -213,11 +359,24 @@ class ArtifactStore:
             os.fsync(handle.fileno())
 
 
+def _references_any(meta, shas: set[str]) -> bool:
+    """Whether any string anywhere inside ``meta`` names one of ``shas``
+    (snapshot metas reference objects by bare sha256 hex strings)."""
+    if isinstance(meta, str):
+        return meta in shas
+    if isinstance(meta, dict):
+        return any(_references_any(v, shas) for v in meta.values())
+    if isinstance(meta, (list, tuple)):
+        return any(_references_any(v, shas) for v in meta)
+    return False
+
+
 class MemoryStore:
     """In-process stand-in with the :class:`ArtifactStore` duck type."""
 
     def __init__(self):
         self._objects: dict[str, str] = {}
+        self._blobs: dict[str, bytes] = {}
         self._snapshots: dict[tuple[str, str], dict] = {}
 
     def put_object(self, payload) -> str:
@@ -231,6 +390,17 @@ class MemoryStore:
         if text is None:
             raise StoreError(f"object {sha} not present")
         return json.loads(text)
+
+    def put_blob(self, data: bytes) -> str:
+        sha = hashlib.sha256(data).hexdigest()
+        self._blobs[sha] = data
+        return sha
+
+    def get_blob(self, sha: str) -> bytes:
+        data = self._blobs.get(sha)
+        if data is None:
+            raise StoreError(f"blob {sha} not present")
+        return data
 
     def append_snapshot(self, config_key: str, program: str, meta: dict) -> None:
         self._snapshots[(config_key, program)] = json.loads(json.dumps(meta))

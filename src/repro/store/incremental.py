@@ -68,6 +68,11 @@ class IncrementalReport:
     ``mode`` is ``"cold"`` (no usable snapshot — including the very
     first run), ``"warm"`` (clean regions adopted), or ``"fallback"``
     (a snapshot existed but could not be trusted: the RL530 path).
+    The flat engine's slab tier (:mod:`repro.store.slabs`) adds
+    ``"slab"`` (a persistent slab adopted wholesale) and
+    ``"slab-patch"`` (loaded, then the changed procedures' firing
+    blocks spliced); its untrusted-artifact path reuses ``"fallback"``
+    (RL532).
     """
 
     mode: str

@@ -261,3 +261,22 @@ LARGE_PROFILES: dict[str, WorkloadProfile] = {
         function_results=2, scc_ring=880, scc_depth=3,
     ),
 }
+
+#: The ~10k-procedure tier the persistent-slab path exists for: big
+#: enough that ``build_slab`` plus the phase-1 precompute is the
+#: dominant cost of a flat solve, so a store-loaded slab shows its
+#: ≥5x warm-vs-cold win end-to-end (``benchmarks/bench_slab_store.py``
+#: gates it). Same fan-out shape as ``large_fanout`` — seed-sweep
+#: throughput dominates, which is exactly the work a loaded slab skips.
+#: Excluded from ``suite_names()`` *and* ``large_names()``: only the
+#: ``slow``-marked scaling tests and the CI ``huge`` job load it.
+HUGE_PROFILES: dict[str, WorkloadProfile] = {
+    "huge_fanout": WorkloadProfile(
+        name="huge_fanout", seed=801, phases=64, pad_statements=2,
+        literal_args=3800, intra_args=1800, passthrough_chains=36,
+        chain_depth=4, global_constants=12, extra_global_leaves=348,
+        shallow_globals=True, mod_sensitive=180, local_constants=720,
+        set_use=1140, set_use_calls=1140, read_kills=24,
+        conflicting_sites=360, function_results=36,
+    ),
+}

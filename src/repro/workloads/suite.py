@@ -4,11 +4,12 @@
 suite); ``load(name, scale=...)`` fetches one, optionally scaled down for
 fast tests. Results are memoized per (name, scale).
 
-The 1k-procedure ``large`` family (``large_names()``) loads through the
-same :func:`load` but is *not* part of ``suite_names()``/``load_suite()``
+The 1k-procedure ``large`` family (``large_names()``) and the
+~10k-procedure ``huge`` family (``huge_names()``) load through the same
+:func:`load` but are *not* part of ``suite_names()``/``load_suite()``
 — the Table experiments and suite-wide differential tests iterate those,
-and the large corpora belong to the ``slow``-marked scaling tier and the
-flat-engine benchmark gates only.
+and the large/huge corpora belong to the ``slow``-marked scaling tier
+and the flat-engine / persistent-slab benchmark gates only.
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.workloads.generator import GeneratedWorkload, generate
-from repro.workloads.profiles import LARGE_PROFILES, PROFILES
+from repro.workloads.profiles import HUGE_PROFILES, LARGE_PROFILES, PROFILES
 
 
 def suite_names() -> list[str]:
@@ -29,11 +30,18 @@ def large_names() -> list[str]:
     return list(LARGE_PROFILES)
 
 
+def huge_names() -> list[str]:
+    """The ~10k-procedure persistent-slab tier program names."""
+    return list(HUGE_PROFILES)
+
+
 @lru_cache(maxsize=None)
 def load(name: str, scale: float = 1.0) -> GeneratedWorkload:
     """Generate (or fetch the cached) workload ``name`` — a Table 1
     stand-in or a ``large`` scaling-tier corpus."""
-    profile = PROFILES.get(name) or LARGE_PROFILES[name]
+    profile = (
+        PROFILES.get(name) or LARGE_PROFILES.get(name) or HUGE_PROFILES[name]
+    )
     if scale != 1.0:
         profile = profile.scaled(scale)
     return generate(profile)

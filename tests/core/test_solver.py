@@ -256,6 +256,10 @@ end
             "slab_slots",
             "slab_bytes",
             "batch_drains",
+            "slab_build_seconds",
+            "slab_load_seconds",
+            "slab_patched_procs",
+            "slab_patched_slots",
         }
         # the diamond is acyclic: four singleton regions, one local
         # sweep each, nothing adopted from a store

@@ -18,6 +18,7 @@ from repro.callgraph import build_call_graph, compute_modref
 from repro.core.builder import build_forward_jump_functions
 from repro.core.config import AnalysisConfig, JumpFunctionKind
 from repro.core.exprs import clear_intern_table
+from repro.core.driver import Analyzer, analyze
 from repro.core.parallel import solve_parallel
 from repro.core.returns import build_return_jump_functions
 from repro.core.slab import slab_for
@@ -26,6 +27,8 @@ from repro.frontend import parse_program
 from repro.ir import lower_program
 from repro.workloads.generator import generate
 from repro.workloads.profiles import WorkloadProfile
+
+from .test_incremental_properties import edit_one_procedure
 
 SETTINGS = settings(max_examples=12, deadline=None)
 
@@ -121,3 +124,38 @@ def test_flat_survives_intern_table_clear(profile):
     finally:
         clear_intern_table()
     assert canonical(flat.val) == expected
+
+
+@given(profile=profile_strategy, kind=kind_strategy)
+@SETTINGS
+def test_flat_parallel_replay_matches_flat(profile, kind):
+    # the parallel wave solver under --flat replays the slab's baked
+    # firing-stream blocks per region instead of running the object
+    # engine: same greatest fixpoint, byte-identical VALs
+    workload = generate(profile)
+    config = AnalysisConfig(jump_function=kind, flat_engine=True)
+    lowered, graph, forward = build(workload.source, config)
+    par = solve_parallel(lowered, graph, forward, workers=1, config=config)
+    flat = solve(lowered, graph, forward, flat=True)
+    assert par.reached == flat.reached
+    assert canonical(par.val) == canonical(flat.val)
+
+
+@given(profile=profile_strategy, data=st.data())
+@SETTINGS
+def test_patched_slab_matches_rebuild(profile, data):
+    # patch-then-solve == rebuild-then-solve: a single-procedure edit
+    # spliced into the retained slab must be indistinguishable from a
+    # from-scratch flat analyze of the edited source
+    workload = generate(profile)
+    config = AnalysisConfig(
+        jump_function=JumpFunctionKind.POLYNOMIAL, flat_engine=True
+    )
+    edited = edit_one_procedure(workload.source, data)
+    analyzer = Analyzer(workload.source)
+    analyzer.run(config)
+    patched = analyzer.reanalyze(edited, config)
+    scratch = analyze(edited, config)
+    assert canonical(patched.solved.val) == canonical(scratch.solved.val)
+    assert patched.solved.reached == scratch.solved.reached
+    assert patched.all_constants() == scratch.all_constants()

@@ -239,6 +239,25 @@ class TestRealPool:
             assert par.solved.val == seq.solved.val, name
             assert par.degradations == (), name
 
+    def test_pool_solve_matches_sequential_flat(self):
+        # --flat --parallel: each spawned worker rebuilds the slab
+        # deterministically and replays its regions' firing-stream
+        # blocks; the merged VAL must reproduce sequential flat exactly
+        flat = AnalysisConfig(
+            jump_function=JumpFunctionKind.POLYNOMIAL, flat_engine=True
+        )
+        parallel = AnalysisConfig(
+            jump_function=JumpFunctionKind.POLYNOMIAL,
+            flat_engine=True,
+            parallel_regions=2,
+        )
+        for name in ("linpackd", "adm"):
+            source = load(name, scale=0.3).source
+            seq = analyze(source, flat, cache=None)
+            par = analyze(source, parallel, cache=None)
+            assert par.solved.val == seq.solved.val, name
+            assert par.degradations == (), name
+
 
 FANOUT = """
 program m

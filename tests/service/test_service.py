@@ -101,6 +101,37 @@ class TestServingTiers:
         assert repeat["served"] == "store"
         assert repeat["result"] == first["result"]
 
+    def test_second_flat_request_hits_the_slab_tier(self, tmp_path):
+        # persist_responses off: the response cache cannot answer from
+        # disk, so the second daemon must re-solve — but its solver
+        # loads the slab the first one published (``served: "slab"``)
+        policy = ServicePolicy(persist_responses=False)
+        flat = {"flat_engine": True}
+        first = AnalysisService(
+            policy, store=ArtifactStore(str(tmp_path / "store"))
+        ).handle({"id": "a", "source": SOURCE, "config": flat})
+        assert first["served"] == "cold"
+        reborn = AnalysisService(
+            policy, store=ArtifactStore(str(tmp_path / "store"))
+        )
+        repeat = reborn.handle({"id": "b", "source": SOURCE, "config": flat})
+        assert repeat["served"] == "slab"
+        assert repeat["result"] == first["result"]
+        assert reborn.served["slab"] == 1
+
+    def test_persisted_responses_outrank_the_slab_tier(self, tmp_path):
+        # default policy: the second daemon answers from the persisted
+        # response without re-solving at all
+        flat = {"flat_engine": True}
+        store = ArtifactStore(str(tmp_path / "store"))
+        first = AnalysisService(store=store).handle(
+            {"id": "a", "source": SOURCE, "config": flat}
+        )
+        reborn = AnalysisService(store=ArtifactStore(str(tmp_path / "store")))
+        repeat = reborn.handle({"id": "b", "source": SOURCE, "config": flat})
+        assert repeat["served"] == "store"
+        assert repeat["result"] == first["result"]
+
     def test_different_config_is_a_different_fingerprint(self):
         service = AnalysisService()
         first = service.handle({"id": "a", "source": SOURCE})

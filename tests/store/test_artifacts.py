@@ -157,3 +157,72 @@ class TestIndexLocking:
             assert store.load_snapshot("cfg", f"writer{writer}") == {
                 "rev": appends - 1
             }
+
+
+class TestGc:
+    """``gc(max_bytes)`` evicts least-recently-verified objects and
+    compacts away the snapshot lines that reference them — a snapshot
+    pointing at an evicted sha would otherwise turn every future load
+    into a verification failure."""
+
+    @staticmethod
+    def _age(store, sha, suffix, seconds_ago):
+        path = os.path.join(store.path, "objects", f"{sha}.{suffix}")
+        stamp = os.stat(path).st_mtime - seconds_ago
+        os.utime(path, (stamp, stamp))
+
+    def test_under_budget_is_a_noop(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        sha = store.put_blob(b"x" * 100)
+        report = store.gc(10_000)
+        assert report["removed_objects"] == 0
+        assert report["dropped_snapshots"] == 0
+        assert report["before_bytes"] == report["after_bytes"]
+        assert store.get_blob(sha) == b"x" * 100
+
+    def test_evicts_least_recently_verified_first(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        old = store.put_blob(b"a" * 400)
+        new = store.put_blob(b"b" * 400)
+        self._age(store, old, "bin", 600)
+        report = store.gc(500)
+        assert report["removed_objects"] == 1
+        assert report["after_bytes"] <= 500
+        with pytest.raises(StoreError):
+            store.get_blob(old)
+        assert store.get_blob(new) == b"b" * 400
+
+    def test_verified_read_saves_a_blob_from_eviction(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        first = store.put_blob(b"a" * 400)
+        second = store.put_blob(b"b" * 400)
+        self._age(store, first, "bin", 600)
+        self._age(store, second, "bin", 300)
+        store.get_blob(first)  # refreshes mtime: now most recent
+        store.gc(500)
+        assert store.get_blob(first) == b"a" * 400
+        with pytest.raises(StoreError):
+            store.get_blob(second)
+
+    def test_compacts_snapshots_referencing_evicted_shas(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        doomed = store.put_blob(b"a" * 400)
+        kept = store.put_blob(b"b" * 400)
+        self._age(store, doomed, "bin", 600)
+        store.append_snapshot("cfg", "slab:m", {"blob": doomed})
+        store.append_snapshot("cfg", "other", {"blob": kept})
+        report = store.gc(500)
+        assert report["removed_objects"] == 1
+        assert report["dropped_snapshots"] == 1
+        assert store.load_snapshot("cfg", "slab:m") is None
+        assert store.load_snapshot("cfg", "other") == {"blob": kept}
+
+    def test_publish_after_gc_works(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        sha = store.put_blob(b"a" * 400)
+        store.append_snapshot("cfg", "slab:m", {"blob": sha})
+        store.gc(0)
+        fresh = store.put_blob(b"c" * 100)
+        store.append_snapshot("cfg", "slab:m", {"blob": fresh})
+        assert store.load_snapshot("cfg", "slab:m") == {"blob": fresh}
+        assert store.get_blob(fresh) == b"c" * 100

@@ -1,0 +1,49 @@
+"""The ``huge`` workload family: the ~10k-procedure persistent-slab
+tier. Full generation and analysis take tens of seconds, so the big
+corpus test is ``slow``-marked (the CI ``huge`` job and the slab-store
+benchmark gate run it in full); the fast suite checks tiering and a
+scaled-down proxy only."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig, JumpFunctionKind
+from repro.core.driver import Analyzer
+from repro.workloads.profiles import HUGE_PROFILES, LARGE_PROFILES, PROFILES
+from repro.workloads.suite import huge_names, large_names, load, suite_names
+
+
+class TestTiering:
+    """Fast checks: the huge family must stay out of both the default
+    suite and the 1k scaling tier."""
+
+    def test_huge_names_disjoint_from_other_tiers(self):
+        assert not set(huge_names()) & set(suite_names())
+        assert not set(huge_names()) & set(large_names())
+
+    def test_huge_profiles_not_in_other_profile_maps(self):
+        assert not set(HUGE_PROFILES) & set(PROFILES)
+        assert not set(HUGE_PROFILES) & set(LARGE_PROFILES)
+
+    def test_load_resolves_huge_names(self):
+        # scaled far down so this stays in the fast tier
+        workload = load("huge_fanout", scale=0.005)
+        assert workload.source
+
+
+@pytest.mark.slow
+class TestHugeCorpus:
+    def test_ten_thousand_procedures_flat_with_store(self):
+        workload = load("huge_fanout")
+        config = AnalysisConfig(
+            jump_function=JumpFunctionKind.POLYNOMIAL, flat_engine=True
+        )
+        analyzer = Analyzer(workload.source)
+        cold = analyzer.run(config)
+        assert len(cold.solved.reached) >= 10_000
+        assert cold.solved.slab_slots >= 100_000
+        assert cold.degradations == ()
+        # the cold run published its slab: the rerun loads, not builds
+        warm = analyzer.run(config)
+        assert warm.incremental.mode == "slab"
+        assert warm.solved.slab_build_seconds == 0.0
+        assert warm.solved.val == cold.solved.val
